@@ -1,0 +1,122 @@
+// Experiment fig1-defense — Example 1's requirement that the integration
+// system "detect and limit that type of privacy breach".
+//
+// Two sweeps:
+//  1. DEFENSE BY COARSENING: publish the Figure 1 aggregates at decreasing
+//     precision and measure how wide the snooping HMO's inferred intervals
+//     become — the rounding knob the preservation module turns.
+//  2. DEFENSE BY AUDITING: route the full release schedule through the
+//     mediator's privacy control at different interval-loss thresholds and
+//     report how many releases are approved before the auditor stops the
+//     schedule, and the attacker's worst-case loss afterwards.
+// Baseline: the traditional integrator (tolerance 0.005, no auditor) leaks.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/scenario.h"
+#include "inference/privacy_loss.h"
+#include "inference/snooping_attack.h"
+#include "mediator/privacy_control.h"
+
+using piye::core::ClinicalScenario;
+using piye::inference::AttackerKnowledge;
+using piye::inference::PublishedAggregates;
+using piye::inference::SnoopingAttack;
+
+namespace {
+
+void SweepCoarsening() {
+  std::printf("--- Defense 1: publication precision vs attacker interval width ---\n");
+  std::printf("%-22s %-18s %-16s %-12s\n", "published precision", "mean width (pts)",
+              "worst loss", "breach?");
+  const AttackerKnowledge attacker = AttackerKnowledge::Figure1();
+  for (double precision : {0.01, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0}) {
+    PublishedAggregates published = PublishedAggregates::Figure1();
+    published.tolerance = precision / 2.0;  // ± half of the rounding unit
+    SnoopingAttack attack(42);
+    auto result = attack.Run(published, attacker);
+    if (!result.ok()) {
+      std::printf("%-22.2f attack infeasible (%s)\n", precision,
+                  result.status().message().c_str());
+      continue;
+    }
+    double worst = 0.0;
+    for (size_t m = 0; m < 3; ++m) {
+      for (size_t p = 1; p < 4; ++p) {
+        worst = std::max(worst, piye::inference::loss::IntervalLoss(
+                                    {0, 100}, result->intervals[m][p]));
+      }
+    }
+    const double width = result->MeanUnknownWidth(0);
+    std::printf("%-22.2f %-18.2f %-16.3f %s\n", precision, width, worst,
+                worst > 0.85 ? "YES (intervals pinned)" : "no");
+  }
+  std::printf("\n");
+}
+
+void SweepAuditor() {
+  std::printf("--- Defense 2: inference auditor threshold vs release schedule ---\n");
+  std::printf("%-12s %-10s %-10s %-22s\n", "threshold", "approved", "refused",
+              "worst loss after audit");
+  auto rates = ClinicalScenario::GroundTruthRates();
+  if (!rates.ok()) return;
+  const PublishedAggregates published = PublishedAggregates::Figure1();
+  for (double threshold : {1.0, 0.95, 0.9, 0.85, 0.75, 0.6, 0.4}) {
+    piye::mediator::PrivacyControl control(1.0, threshold);
+    std::vector<std::vector<size_t>> cell(3, std::vector<size_t>(4));
+    for (size_t m = 0; m < 3; ++m) {
+      for (size_t p = 0; p < 4; ++p) {
+        cell[m][p] = control.RegisterSensitiveCell(
+            published.measures[m] + "/" + published.parties[p], 0, 100,
+            (*rates)[m][p]);
+      }
+    }
+    // The full Figure 1 schedule: per-test means, sigmas, per-HMO means.
+    for (size_t m = 0; m < 3; ++m) (void)control.ApproveMeanDisclosure(cell[m], 0.05);
+    for (size_t m = 0; m < 3; ++m) {
+      (void)control.ApproveStdDevDisclosure(cell[m], 0.05);
+    }
+    for (size_t p = 0; p < 4; ++p) {
+      std::vector<size_t> party{cell[0][p], cell[1][p], cell[2][p]};
+      (void)control.ApproveMeanDisclosure(party, 0.05);
+    }
+    double worst = 0.0;
+    if (auto losses = control.auditor().CurrentLosses(); losses.ok()) {
+      for (double l : *losses) worst = std::max(worst, l);
+    }
+    std::printf("%-12.2f %-10zu %-10zu %-22.3f\n", threshold,
+                control.auditor().disclosures_committed(),
+                control.auditor().disclosures_refused(), worst);
+  }
+  std::printf("(threshold 1.0 = traditional integrator: everything released, "
+              "attacker wins)\n\n");
+}
+
+void BM_AuditOneDisclosure(benchmark::State& state) {
+  auto rates = ClinicalScenario::GroundTruthRates();
+  for (auto _ : state) {
+    piye::mediator::PrivacyControl control(1.0, 0.85);
+    std::vector<size_t> cells;
+    for (size_t m = 0; m < 3; ++m) {
+      for (size_t p = 0; p < 4; ++p) {
+        cells.push_back(control.RegisterSensitiveCell("c", 0, 100, (*rates)[m][p]));
+      }
+    }
+    auto r = control.ApproveMeanDisclosure(
+        {cells[0], cells[1], cells[2], cells[3]}, 0.05);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AuditOneDisclosure)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepCoarsening();
+  SweepAuditor();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Experiment fig1 — reproduces Figure 1 of the paper: the published
+// aggregate tables (a)/(b), the snooping HMO's knowledge (c), and the
+// intervals it infers with non-linear programming (d). Also times the
+// attack itself with google-benchmark.
+//
+// Paper reference values for (d):
+//   HbA1c        HMO2 [87.2;88.5]  HMO3 [82.8;86.4]  HMO4 [82.9;86.7]
+//   LipidProfile HMO2 [58.6;59.8]  HMO3 [48.1;52.3]  HMO4 [48.6;53.1]
+//   EyeExam      HMO2 [46.8;47.9]  HMO3 [44.5;47.2]  HMO4 [44.5;47.4]
+// Our intervals are conservative (they bracket the paper's) because we model
+// the rounding tolerance of the published values explicitly; the shape —
+// every sensitive cell pinned to a few points out of a 100-point prior —
+// is the reproduced result.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "inference/interval_solver.h"
+#include "inference/privacy_loss.h"
+#include "inference/snooping_attack.h"
+
+using piye::inference::AttackerKnowledge;
+using piye::inference::PublishedAggregates;
+using piye::inference::SnoopingAttack;
+
+namespace {
+
+void PrintFigure1Tables() {
+  const PublishedAggregates published = PublishedAggregates::Figure1();
+  const AttackerKnowledge attacker = AttackerKnowledge::Figure1();
+
+  std::printf("--- Figure 1(a): test compliance across HMOs ---\n");
+  std::printf("%-13s %18s %10s\n", "Test", "AvgCompliance", "StdDev");
+  for (size_t m = 0; m < published.measures.size(); ++m) {
+    std::printf("%-13s %17.1f%% %9.1f%%\n", published.measures[m].c_str(),
+                published.measure_mean[m], published.measure_sigma[m]);
+  }
+  std::printf("\n--- Figure 1(b): average performance per HMO ---\n");
+  for (size_t p = 0; p < published.parties.size(); ++p) {
+    std::printf("%-6s %6.1f%%\n", published.parties[p].c_str(),
+                published.party_mean[p]);
+  }
+  std::printf("\n--- Figure 1(c): what HMO1 knows ---\n");
+  for (size_t m = 0; m < published.measures.size(); ++m) {
+    std::printf("%-13s own=%5.1f%%  published mean=%5.1f%% sigma=%4.1f%%\n",
+                published.measures[m].c_str(), attacker.own_values[m],
+                published.measure_mean[m], published.measure_sigma[m]);
+  }
+
+  SnoopingAttack attack(/*seed=*/42);
+  auto result = attack.Run(published, attacker);
+  if (!result.ok()) {
+    std::printf("attack failed: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("\n--- Figure 1(d): intervals inferred by snooping HMO1 ---\n");
+  std::printf("%-13s", "");
+  for (const auto& p : published.parties) std::printf(" %-15s", p.c_str());
+  std::printf("\n");
+  for (size_t m = 0; m < published.measures.size(); ++m) {
+    std::printf("%-13s", published.measures[m].c_str());
+    for (size_t p = 0; p < published.parties.size(); ++p) {
+      const auto& iv = result->intervals[m][p];
+      std::printf(" [%5.1f;%5.1f]  ", iv.lo, iv.hi);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nmean interval width over unknown cells: %.2f (prior: %.0f)\n",
+              result->MeanUnknownWidth(attacker.party_index), result->prior_width);
+  double worst_loss = 0.0;
+  for (size_t m = 0; m < 3; ++m) {
+    for (size_t p = 1; p < 4; ++p) {
+      worst_loss = std::max(
+          worst_loss, piye::inference::loss::IntervalLoss(
+                          {0, 100}, result->intervals[m][p]));
+    }
+  }
+  std::printf("worst per-cell interval privacy loss: %.3f\n\n", worst_loss);
+}
+
+void BM_Figure1Attack(benchmark::State& state) {
+  const PublishedAggregates published = PublishedAggregates::Figure1();
+  const AttackerKnowledge attacker = AttackerKnowledge::Figure1();
+  piye::inference::NlpBoundSolver::Options options;
+  options.restarts = static_cast<size_t>(state.range(0));
+  double width = 0.0;
+  for (auto _ : state) {
+    SnoopingAttack attack(42, options);
+    auto result = attack.Run(published, attacker);
+    if (result.ok()) width = result->MeanUnknownWidth(0);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["mean_interval_width"] = width;
+}
+BENCHMARK(BM_Figure1Attack)->Arg(4)->Arg(12)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_Figure1OuterBoxOnly(benchmark::State& state) {
+  const PublishedAggregates published = PublishedAggregates::Figure1();
+  const AttackerKnowledge attacker = AttackerKnowledge::Figure1();
+  for (auto _ : state) {
+    auto sys = SnoopingAttack::BuildSystem(published, attacker);
+    piye::inference::IntervalPropagator prop(&*sys);
+    auto box = prop.Propagate();
+    benchmark::DoNotOptimize(box);
+  }
+}
+BENCHMARK(BM_Figure1OuterBoxOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure1Tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

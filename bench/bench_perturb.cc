@@ -1,0 +1,130 @@
+// Experiment abl-perturb — the paper's caution that data perturbation
+// "is not foolproof in protecting data privacy" [29], and its utility side
+// (Agrawal–Srikant reconstruction):
+//   1. utility: distribution-reconstruction error vs noise sigma — the miner
+//      keeps working even under heavy noise;
+//   2. privacy: per-record protection vs sigma for i.i.d. data;
+//   3. the attack: spectral filtering recovers correlated records well below
+//      the noise floor — the Kargupta result the paper cites.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "perturb/noise.h"
+#include "perturb/reconstruction.h"
+#include "perturb/spectral_filter.h"
+
+using namespace piye;
+using namespace piye::perturb;
+
+namespace {
+
+void UtilityAndPrivacySweep() {
+  std::printf("--- Additive noise: distribution utility vs per-record privacy "
+              "---\n");
+  std::printf("%-8s %-24s %-24s\n", "sigma", "recon L1 err (vs naive)",
+              "mean |x' - x| per record");
+  Rng rng(11);
+  std::vector<double> original;
+  for (int i = 0; i < 3000; ++i) {
+    original.push_back(i % 2 == 0 ? rng.NextGaussian(30, 5) : rng.NextGaussian(70, 5));
+  }
+  DistributionReconstructor recon(0, 100, 20);
+  const auto truth = recon.Bucketize(original);
+  for (double sigma : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+    Rng noise_rng(17);
+    const AdditiveNoise noise(AdditiveNoise::Distribution::kGaussian, sigma);
+    const auto perturbed = noise.Perturb(original, &noise_rng);
+    auto f = recon.Reconstruct(perturbed, noise);
+    if (!f.ok()) continue;
+    const double err = DistributionReconstructor::L1Distance(truth, *f);
+    const double naive =
+        DistributionReconstructor::L1Distance(truth, recon.Bucketize(perturbed));
+    double record_err = 0.0;
+    for (size_t i = 0; i < original.size(); ++i) {
+      record_err += std::fabs(perturbed[i] - original[i]);
+    }
+    record_err /= static_cast<double>(original.size());
+    std::printf("%-8.1f %6.3f (naive %6.3f)%6s %-24.1f\n", sigma, err, naive, "",
+                record_err);
+  }
+  std::printf("(reconstruction keeps the distribution usable while individual "
+              "records drift by ~0.8*sigma — the Agrawal–Srikant trade)\n\n");
+}
+
+void SpectralAttackSweep() {
+  std::printf("--- Spectral filtering attack on correlated data ---\n");
+  std::printf("%-8s %-18s %-18s %-12s\n", "sigma", "rmse perturbed",
+              "rmse after attack", "noise removed");
+  Rng rng(23);
+  const size_t n = 600, d = 6;
+  std::vector<std::vector<double>> original(n, std::vector<double>(d));
+  for (size_t r = 0; r < n; ++r) {
+    const double latent = rng.NextUniform(0, 100);
+    for (size_t j = 0; j < d; ++j) {
+      original[r][j] =
+          latent * (0.8 + 0.1 * static_cast<double>(j)) + rng.NextGaussian(0, 2);
+    }
+  }
+  for (double sigma : {5.0, 10.0, 20.0, 40.0}) {
+    Rng noise_rng(29);
+    auto perturbed = original;
+    for (auto& row : perturbed) {
+      for (auto& x : row) x += noise_rng.NextGaussian(0, sigma);
+    }
+    const SpectralFilter filter(sigma * sigma);
+    auto recovered = filter.Filter(perturbed);
+    if (!recovered.ok()) continue;
+    const double before = SpectralFilter::MatrixRmse(original, perturbed);
+    const double after = SpectralFilter::MatrixRmse(original, *recovered);
+    std::printf("%-8.1f %-18.2f %-18.2f %.0f%%\n", sigma, before, after,
+                100.0 * (1.0 - after / before));
+  }
+  std::printf("(most of the added noise is stripped: input perturbation alone "
+              "is NOT foolproof for correlated attributes)\n\n");
+}
+
+void BM_Reconstruction(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> original;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    original.push_back(rng.NextGaussian(50, 15));
+  }
+  const AdditiveNoise noise(AdditiveNoise::Distribution::kGaussian, 10.0);
+  const auto perturbed = noise.Perturb(original, &rng);
+  DistributionReconstructor recon(0, 100, 20);
+  for (auto _ : state) {
+    auto f = recon.Reconstruct(perturbed, noise);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_Reconstruction)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_SpectralFilter(benchmark::State& state) {
+  Rng rng(23);
+  const size_t n = static_cast<size_t>(state.range(0)), d = 6;
+  std::vector<std::vector<double>> data(n, std::vector<double>(d));
+  for (auto& row : data) {
+    const double latent = rng.NextUniform(0, 100);
+    for (auto& x : row) x = latent + rng.NextGaussian(0, 12);
+  }
+  const SpectralFilter filter(144.0);
+  for (auto _ : state) {
+    auto out = filter.Filter(data);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SpectralFilter)->Arg(600)->Arg(2400)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  UtilityAndPrivacySweep();
+  SpectralAttackSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Experiment abl-seq — "privacy preservation for a sequence of queries":
+// compares the three sequence defenses the library implements on the same
+// adversarial query stream:
+//   none     — every aggregate answered (baseline; the attacker wins),
+//   chin     — the Chin–Özsoyoğlu exact-compromise auditor,
+//   dobkin   — Dobkin–Jones–Lipton overlap control,
+//   interval — the quantitative interval-loss auditor (PRIVATE-IYE's).
+// The stream is a difference attack: sums over nested sets that pin one
+// record. Reported: how many queries each defense answers before blocking,
+// and whether the target value is compromised (exactly or to <5% interval).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "inference/sequence_auditor.h"
+#include "relational/expression.h"
+#include "statdb/audit.h"
+#include "statdb/restriction.h"
+
+using namespace piye;
+
+namespace {
+
+constexpr size_t kRecords = 16;
+
+relational::Table MakeTable(Rng* rng, std::vector<double>* values) {
+  relational::Table t(relational::Schema{
+      relational::Column{"id", relational::ColumnType::kInt64},
+      relational::Column{"v", relational::ColumnType::kDouble}});
+  for (size_t i = 0; i < kRecords; ++i) {
+    const double v = rng->NextUniform(0, 100);
+    values->push_back(v);
+    t.AppendRowUnchecked({relational::Value::Int(static_cast<int64_t>(i)),
+                          relational::Value::Real(v)});
+  }
+  return t;
+}
+
+// The attack stream: SUM over {0..k} for k = n-1 down to 1, so consecutive
+// answers differ by exactly one record.
+std::vector<std::vector<size_t>> AttackStream() {
+  std::vector<std::vector<size_t>> stream;
+  for (size_t k = kRecords; k >= 2; --k) {
+    std::vector<size_t> set;
+    for (size_t i = 0; i < k; ++i) set.push_back(i);
+    stream.push_back(std::move(set));
+  }
+  return stream;
+}
+
+statdb::AggregateQuery QueryFor(const std::vector<size_t>& set) {
+  statdb::AggregateQuery q;
+  q.func = relational::AggFunc::kSum;
+  q.column = "v";
+  std::vector<relational::Value> ids;
+  for (size_t i : set) ids.push_back(relational::Value::Int(static_cast<int64_t>(i)));
+  q.predicate =
+      relational::Expression::In(relational::Expression::ColumnRef("id"), ids);
+  return q;
+}
+
+void RunComparison() {
+  Rng rng(31);
+  std::vector<double> values;
+  const relational::Table table = MakeTable(&rng, &values);
+  const auto stream = AttackStream();
+
+  std::printf("--- Difference-attack stream of %zu SUM queries over %zu records ---\n",
+              stream.size(), kRecords);
+  std::printf("%-10s %-10s %-10s %-30s\n", "defense", "answered", "refused",
+              "target record compromised?");
+
+  // none: answer everything; attacker subtracts adjacent sums.
+  {
+    std::vector<double> answers;
+    for (const auto& set : stream) {
+      auto rows = statdb::QuerySet(QueryFor(set), table);
+      auto v = statdb::EvaluateAggregate(QueryFor(set), table, *rows);
+      answers.push_back(*v);
+    }
+    const double inferred = answers[0] - answers[1];  // record kRecords-1
+    const bool compromised = std::fabs(inferred - values[kRecords - 1]) < 1e-9;
+    std::printf("%-10s %-10zu %-10d %-30s\n", "none", answers.size(), 0,
+                compromised ? "YES, exactly" : "no");
+  }
+  // chin: the exact-compromise auditor.
+  {
+    statdb::SumAuditor auditor(kRecords);
+    for (const auto& set : stream) (void)auditor.Answer(QueryFor(set), table);
+    std::printf("%-10s %-10zu %-10zu %-30s\n", "chin", auditor.queries_answered(),
+                auditor.queries_refused(),
+                auditor.DeterminableRecords().empty() ? "no (provably)" : "YES");
+  }
+  // dobkin: overlap control.
+  {
+    statdb::OverlapControl control(/*min_size=*/3, /*max_overlap=*/2);
+    size_t answered = 0, refused = 0;
+    for (const auto& set : stream) {
+      control.Answer(QueryFor(set), table).ok() ? ++answered : ++refused;
+    }
+    std::printf("%-10s %-10zu %-10zu lower bound: %zu queries to compromise\n",
+                "dobkin", answered, refused, control.CompromiseLowerBound());
+  }
+  // interval: the quantitative auditor.
+  {
+    inference::SequenceAuditor auditor(/*max_interval_loss=*/0.95);
+    std::vector<size_t> cells;
+    for (size_t i = 0; i < kRecords; ++i) {
+      cells.push_back(auditor.AddSensitiveValue("r" + std::to_string(i), 0, 100,
+                                                values[i]));
+    }
+    for (const auto& set : stream) {
+      std::vector<size_t> vars;
+      for (size_t i : set) vars.push_back(cells[i]);
+      (void)auditor.DiscloseMean(vars, 0.01);
+    }
+    double worst = 0.0;
+    if (auto losses = auditor.CurrentLosses(); losses.ok()) {
+      for (double l : *losses) worst = std::max(worst, l);
+    }
+    std::printf("%-10s %-10zu %-10zu worst interval loss %.3f (<= 0.95)\n",
+                "interval", auditor.disclosures_committed(),
+                auditor.disclosures_refused(), worst);
+  }
+  std::printf("\n");
+}
+
+void BM_ChinAuditorAnswer(benchmark::State& state) {
+  Rng rng(31);
+  std::vector<double> values;
+  const relational::Table table = MakeTable(&rng, &values);
+  const auto stream = AttackStream();
+  for (auto _ : state) {
+    statdb::SumAuditor auditor(kRecords);
+    for (const auto& set : stream) {
+      auto r = auditor.Answer(QueryFor(set), table);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+}
+BENCHMARK(BM_ChinAuditorAnswer)->Unit(benchmark::kMicrosecond);
+
+void BM_IntervalAuditorAnswer(benchmark::State& state) {
+  Rng rng(31);
+  std::vector<double> values;
+  (void)MakeTable(&rng, &values);
+  const auto stream = AttackStream();
+  for (auto _ : state) {
+    inference::SequenceAuditor auditor(0.95);
+    std::vector<size_t> cells;
+    for (size_t i = 0; i < kRecords; ++i) {
+      cells.push_back(auditor.AddSensitiveValue("r", 0, 100, values[i]));
+    }
+    for (const auto& set : stream) {
+      std::vector<size_t> vars;
+      for (size_t i : set) vars.push_back(cells[i]);
+      auto r = auditor.DiscloseMean(vars, 0.01);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+}
+BENCHMARK(BM_IntervalAuditorAnswer)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "access/rbac.h"
+
+namespace piye {
+namespace access {
+
+const char* ActionToString(Action action) {
+  switch (action) {
+    case Action::kSelect:
+      return "SELECT";
+    case Action::kInsert:
+      return "INSERT";
+    case Action::kUpdate:
+      return "UPDATE";
+    case Action::kDelete:
+      return "DELETE";
+  }
+  return "?";
+}
+
+Status RbacDatabase::AddRole(const std::string& role,
+                             const std::vector<std::string>& parents) {
+  if (roles_.count(role) != 0) {
+    return Status::AlreadyExists("role '" + role + "' already exists");
+  }
+  for (const auto& p : parents) {
+    if (roles_.count(p) == 0) {
+      return Status::NotFound("parent role '" + p + "' does not exist");
+    }
+  }
+  roles_.emplace(role, parents);
+  return Status::OK();
+}
+
+Status RbacDatabase::AssignRole(const std::string& user, const std::string& role) {
+  if (roles_.count(role) == 0) {
+    return Status::NotFound("role '" + role + "' does not exist");
+  }
+  user_roles_[user].insert(role);
+  return Status::OK();
+}
+
+Status RbacDatabase::Grant(const std::string& role, Action action,
+                           const std::string& table, const std::string& column) {
+  if (roles_.count(role) == 0) {
+    return Status::NotFound("role '" + role + "' does not exist");
+  }
+  grants_[role].push_back({action, table, column});
+  return Status::OK();
+}
+
+void RbacDatabase::CollectJuniors(const std::string& role,
+                                  std::set<std::string>* out) const {
+  if (!out->insert(role).second) return;  // already visited
+  auto it = roles_.find(role);
+  if (it == roles_.end()) return;
+  for (const auto& parent : it->second) CollectJuniors(parent, out);
+}
+
+std::set<std::string> RbacDatabase::EffectiveRoles(const std::string& user) const {
+  std::set<std::string> out;
+  auto it = user_roles_.find(user);
+  if (it == user_roles_.end()) return out;
+  for (const auto& role : it->second) CollectJuniors(role, &out);
+  return out;
+}
+
+bool RbacDatabase::IsAuthorized(const std::string& user, Action action,
+                                const std::string& table,
+                                const std::string& column) const {
+  for (const auto& role : EffectiveRoles(user)) {
+    auto it = grants_.find(role);
+    if (it == grants_.end()) continue;
+    for (const Permission& p : it->second) {
+      if (p.action != action) continue;
+      if (p.table != "*" && p.table != table) continue;
+      if (p.column != "*" && p.column != column) continue;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* SecurityLevelToString(SecurityLevel level) {
+  switch (level) {
+    case SecurityLevel::kPublic:
+      return "public";
+    case SecurityLevel::kInternal:
+      return "internal";
+    case SecurityLevel::kConfidential:
+      return "confidential";
+    case SecurityLevel::kSecret:
+      return "secret";
+  }
+  return "?";
+}
+
+void MlsLabeling::SetLabel(const std::string& table, const std::string& column,
+                           SecurityLevel level) {
+  labels_[{table, column}] = level;
+}
+
+SecurityLevel MlsLabeling::LabelOf(const std::string& table,
+                                   const std::string& column) const {
+  auto it = labels_.find({table, column});
+  if (it != labels_.end()) return it->second;
+  // Fall back to a table-wide label.
+  it = labels_.find({table, "*"});
+  if (it != labels_.end()) return it->second;
+  return SecurityLevel::kPublic;
+}
+
+bool MlsLabeling::CanRead(SecurityLevel clearance, const std::string& table,
+                          const std::string& column) const {
+  return clearance >= LabelOf(table, column);
+}
+
+bool MlsLabeling::CanWrite(SecurityLevel clearance, const std::string& table,
+                           const std::string& column) const {
+  return clearance <= LabelOf(table, column);
+}
+
+}  // namespace access
+}  // namespace piye

@@ -1,0 +1,99 @@
+#ifndef PIYE_ACCESS_RBAC_H_
+#define PIYE_ACCESS_RBAC_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace piye {
+namespace access {
+
+/// Actions an access rule can grant.
+enum class Action { kSelect, kInsert, kUpdate, kDelete };
+
+const char* ActionToString(Action action);
+
+/// Classic role-based access control with role inheritance: roles form a
+/// DAG (a senior role inherits every permission of its juniors), users are
+/// assigned roles, and permissions grant an action on a (table, column)
+/// object with "*" wildcards.
+///
+/// The paper (Section 2, "Secured Databases") positions RBAC as necessary
+/// but insufficient: the Query Rewriter consults this database *and* the
+/// privacy policies — RBAC decides who may touch an object at all, policy
+/// decides in what form.
+class RbacDatabase {
+ public:
+  /// Declares a role; `parents` are the roles it inherits from.
+  Status AddRole(const std::string& role, const std::vector<std::string>& parents = {});
+
+  /// Assigns a role to a user.
+  Status AssignRole(const std::string& user, const std::string& role);
+
+  /// Grants `action` on table.column (wildcards allowed) to a role.
+  Status Grant(const std::string& role, Action action, const std::string& table,
+               const std::string& column);
+
+  /// True if the user (via any assigned role, transitively through the role
+  /// hierarchy) holds a grant matching the action and object.
+  bool IsAuthorized(const std::string& user, Action action, const std::string& table,
+                    const std::string& column) const;
+
+  /// All roles effectively held by the user (assigned + inherited juniors).
+  std::set<std::string> EffectiveRoles(const std::string& user) const;
+
+  bool HasRole(const std::string& role) const { return roles_.count(role) != 0; }
+
+ private:
+  struct Permission {
+    Action action;
+    std::string table;
+    std::string column;
+  };
+
+  void CollectJuniors(const std::string& role, std::set<std::string>* out) const;
+
+  std::map<std::string, std::vector<std::string>> roles_;  // role -> parent roles
+  std::map<std::string, std::set<std::string>> user_roles_;
+  std::map<std::string, std::vector<Permission>> grants_;  // role -> permissions
+};
+
+/// Multi-level security labels (Section 2). A reader may see data at or
+/// below their clearance (no read up); a writer may not write below their
+/// level (no write down) — the Bell–LaPadula discipline.
+enum class SecurityLevel {
+  kPublic = 0,
+  kInternal = 1,
+  kConfidential = 2,
+  kSecret = 3,
+};
+
+const char* SecurityLevelToString(SecurityLevel level);
+
+/// Assigns MLS labels to (table, column) objects and answers read/write
+/// checks against a clearance.
+class MlsLabeling {
+ public:
+  void SetLabel(const std::string& table, const std::string& column,
+                SecurityLevel level);
+  /// Label of an object; defaults to kPublic when unlabeled.
+  SecurityLevel LabelOf(const std::string& table, const std::string& column) const;
+
+  /// Simple security property: clearance >= label.
+  bool CanRead(SecurityLevel clearance, const std::string& table,
+               const std::string& column) const;
+  /// Star property: clearance <= label.
+  bool CanWrite(SecurityLevel clearance, const std::string& table,
+                const std::string& column) const;
+
+ private:
+  std::map<std::pair<std::string, std::string>, SecurityLevel> labels_;
+};
+
+}  // namespace access
+}  // namespace piye
+
+#endif  // PIYE_ACCESS_RBAC_H_

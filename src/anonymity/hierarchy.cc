@@ -1,0 +1,48 @@
+#include "anonymity/hierarchy.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace piye {
+namespace anonymity {
+
+std::string NumericHierarchy::Generalize(const relational::Value& v,
+                                         size_t level) const {
+  if (v.is_null()) return "NULL";
+  if (level == 0) return v.ToDisplayString();
+  if (level >= max_level()) return "*";
+  if (!v.is_numeric()) return "*";
+  const double width = widths_[level - 1];
+  const double x = v.AsDouble();
+  const double bucket = std::floor((x - lo_) / width);
+  const double lo = lo_ + bucket * width;
+  return strings::Format("[%g,%g)", lo, lo + width);
+}
+
+Status CategoricalHierarchy::AddChain(const std::string& value,
+                                      std::vector<std::string> ancestors) {
+  if (ancestors.empty()) {
+    return Status::InvalidArgument("ancestor chain must not be empty");
+  }
+  while (ancestors.size() < depth_) ancestors.push_back(ancestors.back());
+  ancestors.resize(depth_);
+  auto [it, inserted] = chains_.emplace(value, std::move(ancestors));
+  if (!inserted) {
+    return Status::AlreadyExists("chain for '" + value + "' already registered");
+  }
+  return Status::OK();
+}
+
+std::string CategoricalHierarchy::Generalize(const relational::Value& v,
+                                             size_t level) const {
+  if (v.is_null()) return "NULL";
+  if (level == 0) return v.ToDisplayString();
+  if (level >= max_level()) return "*";
+  auto it = chains_.find(v.ToDisplayString());
+  if (it == chains_.end()) return "*";  // unknown values generalize to top
+  return it->second[level - 1];
+}
+
+}  // namespace anonymity
+}  // namespace piye

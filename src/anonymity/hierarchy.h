@@ -1,0 +1,75 @@
+#ifndef PIYE_ANONYMITY_HIERARCHY_H_
+#define PIYE_ANONYMITY_HIERARCHY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace piye {
+namespace anonymity {
+
+/// A per-attribute generalization hierarchy in the Samarati–Sweeney model:
+/// level 0 is the original value; each higher level is coarser; the top
+/// level is full suppression ("*").
+class ValueHierarchy {
+ public:
+  virtual ~ValueHierarchy() = default;
+
+  /// Number of levels above the original (so valid levels are 0..max_level).
+  virtual size_t max_level() const = 0;
+
+  /// Rendering of `v` at `level`. Level 0 returns the display form of the
+  /// value itself; max_level() returns "*".
+  virtual std::string Generalize(const relational::Value& v, size_t level) const = 0;
+};
+
+/// Generalizes numeric attributes into progressively wider aligned
+/// intervals: level i>0 buckets by widths[i-1], rendered "[lo,hi)".
+class NumericHierarchy : public ValueHierarchy {
+ public:
+  /// `widths` must be increasing; level widths.size()+1 is suppression.
+  NumericHierarchy(double lo, std::vector<double> widths)
+      : lo_(lo), widths_(std::move(widths)) {}
+
+  size_t max_level() const override { return widths_.size() + 1; }
+  std::string Generalize(const relational::Value& v, size_t level) const override;
+
+ private:
+  double lo_;
+  std::vector<double> widths_;
+};
+
+/// Generalizes categorical attributes along explicit ancestor chains, e.g.
+/// "cardiology" -> "internal medicine" -> "medical" -> "*".
+class CategoricalHierarchy : public ValueHierarchy {
+ public:
+  /// `depth` is the number of non-suppression generalization levels every
+  /// chain must provide.
+  explicit CategoricalHierarchy(size_t depth) : depth_(depth) {}
+
+  /// Registers the ancestors of `value`, from level 1 upward; the chain is
+  /// padded with its last element if shorter than `depth`.
+  Status AddChain(const std::string& value, std::vector<std::string> ancestors);
+
+  size_t max_level() const override { return depth_ + 1; }
+  std::string Generalize(const relational::Value& v, size_t level) const override;
+
+ private:
+  size_t depth_;
+  std::map<std::string, std::vector<std::string>> chains_;
+};
+
+/// A quasi-identifier: a column together with its hierarchy.
+struct QuasiIdentifier {
+  std::string column;
+  std::shared_ptr<const ValueHierarchy> hierarchy;
+};
+
+}  // namespace anonymity
+}  // namespace piye
+
+#endif  // PIYE_ANONYMITY_HIERARCHY_H_

@@ -1,0 +1,301 @@
+#include "anonymity/kanonymity.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace piye {
+namespace anonymity {
+
+namespace {
+
+/// Group keys: rendered QI values per row.
+Result<std::map<std::vector<std::string>, std::vector<size_t>>> GroupByQi(
+    const relational::Table& table, const std::vector<std::string>& qi_columns) {
+  std::vector<size_t> idx;
+  for (const auto& col : qi_columns) {
+    PIYE_ASSIGN_OR_RETURN(size_t i, table.schema().IndexOf(col));
+    idx.push_back(i);
+  }
+  std::map<std::vector<std::string>, std::vector<size_t>> groups;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> key;
+    key.reserve(idx.size());
+    for (size_t i : idx) key.push_back(table.row(r)[i].ToDisplayString());
+    groups[key].push_back(r);
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<AnonymityMetrics> ComputeMetrics(const relational::Table& table,
+                                        const std::vector<std::string>& qi_columns,
+                                        size_t suppressed_rows) {
+  PIYE_ASSIGN_OR_RETURN(auto groups, GroupByQi(table, qi_columns));
+  AnonymityMetrics m;
+  m.num_classes = groups.size();
+  size_t total = 0;
+  bool first = true;
+  for (const auto& [_, rows] : groups) {
+    total += rows.size();
+    if (first || rows.size() < m.min_class_size) m.min_class_size = rows.size();
+    first = false;
+    m.discernibility += static_cast<double>(rows.size()) *
+                        static_cast<double>(rows.size());
+  }
+  const double n = static_cast<double>(total + suppressed_rows);
+  m.discernibility += static_cast<double>(suppressed_rows) * n;
+  m.avg_class_size =
+      m.num_classes == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(m.num_classes);
+  return m;
+}
+
+Result<bool> IsKAnonymous(const relational::Table& table,
+                          const std::vector<std::string>& qi_columns, size_t k) {
+  PIYE_ASSIGN_OR_RETURN(auto groups, GroupByQi(table, qi_columns));
+  for (const auto& [_, rows] : groups) {
+    if (rows.size() < k) return false;
+  }
+  return true;
+}
+
+Result<bool> IsLDiverse(const relational::Table& table,
+                        const std::vector<std::string>& qi_columns,
+                        const std::string& sensitive_column, size_t l) {
+  PIYE_ASSIGN_OR_RETURN(auto groups, GroupByQi(table, qi_columns));
+  PIYE_ASSIGN_OR_RETURN(size_t sens, table.schema().IndexOf(sensitive_column));
+  for (const auto& [_, rows] : groups) {
+    std::map<std::string, size_t> distinct;
+    for (size_t r : rows) ++distinct[table.row(r)[sens].ToDisplayString()];
+    if (distinct.size() < l) return false;
+  }
+  return true;
+}
+
+Result<AnonymizationResult> KAnonymizer::ApplyLevels(
+    const relational::Table& input, const std::vector<size_t>& levels) const {
+  if (levels.size() != qis_.size()) {
+    return Status::InvalidArgument("level vector arity mismatch");
+  }
+  // Build the generalized table: QI columns become STRING.
+  std::vector<size_t> qi_idx;
+  for (const auto& qi : qis_) {
+    PIYE_ASSIGN_OR_RETURN(size_t i, input.schema().IndexOf(qi.column));
+    qi_idx.push_back(i);
+  }
+  relational::Schema schema;
+  for (size_t c = 0; c < input.schema().num_columns(); ++c) {
+    bool is_qi = false;
+    for (size_t i : qi_idx) {
+      if (i == c) is_qi = true;
+    }
+    schema.AddColumn({input.schema().column(c).name,
+                      is_qi ? relational::ColumnType::kString
+                            : input.schema().column(c).type});
+  }
+  relational::Table generalized(schema);
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    relational::Row row = input.row(r);
+    for (size_t q = 0; q < qis_.size(); ++q) {
+      row[qi_idx[q]] = relational::Value::Str(
+          qis_[q].hierarchy->Generalize(input.row(r)[qi_idx[q]], levels[q]));
+    }
+    generalized.AppendRowUnchecked(std::move(row));
+  }
+  // Suppress undersized classes.
+  std::vector<std::string> qi_cols;
+  for (const auto& qi : qis_) qi_cols.push_back(qi.column);
+  PIYE_ASSIGN_OR_RETURN(auto groups, GroupByQi(generalized, qi_cols));
+  std::vector<bool> keep(generalized.num_rows(), true);
+  size_t suppressed = 0;
+  for (const auto& [_, rows] : groups) {
+    if (rows.size() >= k_) continue;
+    for (size_t r : rows) keep[r] = false;
+    suppressed += rows.size();
+  }
+  AnonymizationResult out;
+  out.levels = levels;
+  out.suppressed_rows = suppressed;
+  out.table = relational::Table(schema);
+  for (size_t r = 0; r < generalized.num_rows(); ++r) {
+    if (keep[r]) out.table.AppendRowUnchecked(generalized.row(r));
+  }
+  return out;
+}
+
+double KAnonymizer::GeneralizationLoss(const std::vector<size_t>& levels) const {
+  if (qis_.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t q = 0; q < qis_.size(); ++q) {
+    const double maxl = static_cast<double>(qis_[q].hierarchy->max_level());
+    total += maxl == 0.0 ? 0.0 : static_cast<double>(levels[q]) / maxl;
+  }
+  return total / static_cast<double>(qis_.size());
+}
+
+Result<AnonymizationResult> KAnonymizer::Anonymize(
+    const relational::Table& input) const {
+  if (input.num_rows() < k_) {
+    return Status::PrivacyViolation(
+        strings::Format("table has %zu rows, cannot be %zu-anonymous",
+                        input.num_rows(), k_));
+  }
+  // Enumerate level vectors in order of increasing total height.
+  size_t max_height = 0;
+  for (const auto& qi : qis_) max_height += qi.hierarchy->max_level();
+  std::vector<size_t> levels(qis_.size(), 0);
+  for (size_t height = 0; height <= max_height; ++height) {
+    // Depth-first enumeration of vectors summing to `height`.
+    std::vector<size_t> stack_level(qis_.size(), 0);
+    // Simple recursive lambda.
+    AnonymizationResult best;
+    bool found = false;
+    std::function<void(size_t, size_t)> enumerate = [&](size_t dim, size_t remaining) {
+      if (found) return;
+      if (dim == qis_.size()) {
+        if (remaining != 0) return;
+        auto result = ApplyLevels(input, stack_level);
+        if (!result.ok()) return;
+        if (result->suppressed_rows <= max_suppression_ &&
+            result->table.num_rows() >= k_) {
+          best = std::move(result).value();
+          found = true;
+        }
+        return;
+      }
+      const size_t cap = std::min(remaining, qis_[dim].hierarchy->max_level());
+      for (size_t l = 0; l <= cap; ++l) {
+        stack_level[dim] = l;
+        enumerate(dim + 1, remaining - l);
+        if (found) return;
+      }
+    };
+    enumerate(0, height);
+    if (found) return best;
+  }
+  return Status::PrivacyViolation("no generalization achieves k-anonymity");
+}
+
+namespace {
+
+struct MondrianPartition {
+  std::vector<size_t> rows;
+};
+
+}  // namespace
+
+Result<relational::Table> Mondrian::Anonymize(const relational::Table& input) const {
+  std::vector<size_t> qi_idx;
+  for (const auto& col : qi_) {
+    PIYE_ASSIGN_OR_RETURN(size_t i, input.schema().IndexOf(col));
+    if (input.schema().column(i).type != relational::ColumnType::kInt64 &&
+        input.schema().column(i).type != relational::ColumnType::kDouble) {
+      return Status::InvalidArgument("Mondrian QI '" + col + "' must be numeric");
+    }
+    qi_idx.push_back(i);
+  }
+  if (input.num_rows() < k_) {
+    return Status::PrivacyViolation("fewer rows than k");
+  }
+  // Recursive median partitioning.
+  std::vector<MondrianPartition> final_parts;
+  std::vector<MondrianPartition> work;
+  MondrianPartition all;
+  for (size_t r = 0; r < input.num_rows(); ++r) all.rows.push_back(r);
+  work.push_back(std::move(all));
+  while (!work.empty()) {
+    MondrianPartition part = std::move(work.back());
+    work.pop_back();
+    // Choose the QI with the widest normalized range in this partition.
+    size_t best_dim = qi_idx.size();
+    double best_range = 0.0;
+    for (size_t d = 0; d < qi_idx.size(); ++d) {
+      double lo = 0.0, hi = 0.0;
+      bool first = true;
+      for (size_t r : part.rows) {
+        const double x = input.row(r)[qi_idx[d]].AsDouble();
+        if (first) {
+          lo = hi = x;
+          first = false;
+        } else {
+          lo = std::min(lo, x);
+          hi = std::max(hi, x);
+        }
+      }
+      if (hi - lo > best_range) {
+        best_range = hi - lo;
+        best_dim = d;
+      }
+    }
+    bool split_done = false;
+    if (best_dim < qi_idx.size() && part.rows.size() >= 2 * k_ && best_range > 0.0) {
+      // Median split on best_dim.
+      std::vector<size_t> sorted = part.rows;
+      const size_t col = qi_idx[best_dim];
+      std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+        return input.row(a)[col].AsDouble() < input.row(b)[col].AsDouble();
+      });
+      const size_t mid = sorted.size() / 2;
+      const double split_value = input.row(sorted[mid])[col].AsDouble();
+      MondrianPartition left, right;
+      for (size_t r : sorted) {
+        if (input.row(r)[col].AsDouble() < split_value) {
+          left.rows.push_back(r);
+        } else {
+          right.rows.push_back(r);
+        }
+      }
+      if (left.rows.size() >= k_ && right.rows.size() >= k_) {
+        work.push_back(std::move(left));
+        work.push_back(std::move(right));
+        split_done = true;
+      }
+    }
+    if (!split_done) final_parts.push_back(std::move(part));
+  }
+  // Emit: QI columns as range strings.
+  relational::Schema schema;
+  for (size_t c = 0; c < input.schema().num_columns(); ++c) {
+    const bool is_qi =
+        std::find(qi_idx.begin(), qi_idx.end(), c) != qi_idx.end();
+    schema.AddColumn({input.schema().column(c).name,
+                      is_qi ? relational::ColumnType::kString
+                            : input.schema().column(c).type});
+  }
+  relational::Table out(schema);
+  for (const auto& part : final_parts) {
+    // Ranges per QI.
+    std::vector<std::string> ranges(qi_idx.size());
+    for (size_t d = 0; d < qi_idx.size(); ++d) {
+      double lo = 0.0, hi = 0.0;
+      bool first = true;
+      for (size_t r : part.rows) {
+        const double x = input.row(r)[qi_idx[d]].AsDouble();
+        if (first) {
+          lo = hi = x;
+          first = false;
+        } else {
+          lo = std::min(lo, x);
+          hi = std::max(hi, x);
+        }
+      }
+      ranges[d] = lo == hi ? strings::Format("%g", lo)
+                           : strings::Format("%g..%g", lo, hi);
+    }
+    for (size_t r : part.rows) {
+      relational::Row row = input.row(r);
+      for (size_t d = 0; d < qi_idx.size(); ++d) {
+        row[qi_idx[d]] = relational::Value::Str(ranges[d]);
+      }
+      out.AppendRowUnchecked(std::move(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace anonymity
+}  // namespace piye

@@ -1,0 +1,37 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace piye {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) { g_level = level; }
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::Log(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace piye

@@ -1,0 +1,24 @@
+#ifndef PIYE_COMMON_MACROS_H_
+#define PIYE_COMMON_MACROS_H_
+
+/// Propagates a non-OK Status to the caller.
+#define PIYE_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::piye::Status _piye_status = (expr);        \
+    if (!_piye_status.ok()) return _piye_status; \
+  } while (false)
+
+#define PIYE_CONCAT_IMPL(x, y) x##y
+#define PIYE_CONCAT(x, y) PIYE_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on success binds the value to
+/// `lhs`, on failure propagates the Status.
+#define PIYE_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  PIYE_ASSIGN_OR_RETURN_IMPL(PIYE_CONCAT(_piye_result, __LINE__), lhs, rexpr)
+
+#define PIYE_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = std::move(result_name).value()
+
+#endif  // PIYE_COMMON_MACROS_H_

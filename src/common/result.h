@@ -1,0 +1,51 @@
+#ifndef PIYE_COMMON_RESULT_H_
+#define PIYE_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace piye {
+
+/// Value-or-error carrier, in the style of arrow::Result.
+///
+/// A `Result<T>` holds either a value of type `T` or a non-OK `Status`.
+/// Accessing the value of an errored result aborts in debug builds and is
+/// undefined otherwise, so callers must check `ok()` first (or use the
+/// PIYE_ASSIGN_OR_RETURN macro from macros.h).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (the error path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace piye
+
+#endif  // PIYE_COMMON_RESULT_H_

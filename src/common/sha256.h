@@ -1,0 +1,48 @@
+#ifndef PIYE_COMMON_SHA256_H_
+#define PIYE_COMMON_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace piye {
+
+/// Self-contained SHA-256 (FIPS 180-4). Used as the hash primitive for the
+/// PSI protocols, Bloom filters, and policy fingerprints so the library has
+/// no external crypto dependency.
+class Sha256 {
+ public:
+  using Digest = std::array<uint8_t, 32>;
+
+  Sha256();
+
+  /// Absorbs more input.
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Digest Finish();
+
+  /// One-shot convenience.
+  static Digest Hash(std::string_view s);
+
+  /// One-shot digest truncated to 64 bits (big-endian first 8 bytes) — handy
+  /// as a keyed bucket/sketch value.
+  static uint64_t Hash64(std::string_view s);
+
+  /// Hex encoding of a digest.
+  static std::string ToHex(const Digest& d);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace piye
+
+#endif  // PIYE_COMMON_SHA256_H_

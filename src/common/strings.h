@@ -1,0 +1,54 @@
+#ifndef PIYE_COMMON_STRINGS_H_
+#define PIYE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace piye {
+namespace strings {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on any run of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Levenshtein edit distance.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Normalized edit similarity in [0,1]: 1 - dist/max(len).
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Character q-grams of a string (padded with '#'), used by the private
+/// approximate-matching protocols.
+std::vector<std::string> QGrams(std::string_view s, size_t q);
+
+/// Jaccard similarity of the q-gram sets of two strings.
+double QGramJaccard(std::string_view a, std::string_view b, size_t q);
+
+/// Splits identifiers like "dateOfBirth", "date_of_birth", "date-of-birth"
+/// into lower-case tokens {"date","of","birth"} — the tokenizer used by the
+/// name-based schema matcher.
+std::vector<std::string> TokenizeIdentifier(std::string_view ident);
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace strings
+}  // namespace piye
+
+#endif  // PIYE_COMMON_STRINGS_H_

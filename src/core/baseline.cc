@@ -1,0 +1,61 @@
+#include "core/baseline.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/macros.h"
+
+namespace piye {
+namespace core {
+
+Result<relational::Table> NaiveIntegrator::IntegrateAll(
+    const std::vector<const source::RemoteSource*>& sources) {
+  if (sources.empty()) return Status::InvalidArgument("no sources");
+  relational::Schema schema = sources[0]->schema();
+  schema.AddColumn({"_source", relational::ColumnType::kString});
+  relational::Table out(schema);
+  for (const auto* src : sources) {
+    if (!(src->schema() == sources[0]->schema())) {
+      return Status::InvalidArgument("naive integration requires matching schemas");
+    }
+    for (const auto& row : src->raw_table_for_testing().rows()) {
+      relational::Row r = row;
+      r.push_back(relational::Value::Str(src->owner()));
+      out.AppendRowUnchecked(std::move(r));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<NaiveIntegrator::PublishedRow>>
+NaiveIntegrator::PublishGroupedAggregates(
+    const std::vector<const source::RemoteSource*>& sources,
+    const std::string& group_column, const std::string& value_column) {
+  PIYE_ASSIGN_OR_RETURN(relational::Table all, IntegrateAll(sources));
+  PIYE_ASSIGN_OR_RETURN(size_t group_idx, all.schema().IndexOf(group_column));
+  PIYE_ASSIGN_OR_RETURN(size_t value_idx, all.schema().IndexOf(value_column));
+  std::map<std::string, std::vector<double>> groups;
+  std::vector<std::string> order;
+  for (const auto& row : all.rows()) {
+    const std::string key = row[group_idx].ToDisplayString();
+    if (groups.count(key) == 0) order.push_back(key);
+    if (!row[value_idx].is_null()) groups[key].push_back(row[value_idx].AsDouble());
+  }
+  std::vector<PublishedRow> out;
+  for (const auto& key : order) {
+    const auto& xs = groups[key];
+    PublishedRow row;
+    row.group = key;
+    row.count = xs.size();
+    for (double x : xs) row.mean += x;
+    if (!xs.empty()) row.mean /= static_cast<double>(xs.size());
+    double acc = 0.0;
+    for (double x : xs) acc += (x - row.mean) * (x - row.mean);
+    if (!xs.empty()) row.stddev = std::sqrt(acc / static_cast<double>(xs.size()));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace piye

@@ -1,0 +1,44 @@
+#include "core/private_iye.h"
+
+#include "common/macros.h"
+
+namespace piye {
+namespace core {
+
+PrivateIye::PrivateIye(mediator::MediationEngine::Options options)
+    : engine_(options) {}
+
+source::RemoteSource* PrivateIye::AddSource(const std::string& owner,
+                                            const std::string& table_name,
+                                            relational::Table data, uint64_t seed) {
+  owned_sources_.push_back(std::make_unique<source::RemoteSource>(
+      owner, table_name, std::move(data), seed));
+  source::RemoteSource* src = owned_sources_.back().get();
+  engine_.RegisterSource(src);
+  return src;
+}
+
+Status PrivateIye::Initialize(const std::string& shared_key) {
+  return engine_.GenerateMediatedSchema(shared_key);
+}
+
+Result<mediator::MediationEngine::IntegratedResult> PrivateIye::Query(
+    const source::PiqlQuery& query, const std::vector<std::string>& dedup_keys) {
+  return engine_.Execute(query, dedup_keys);
+}
+
+Result<mediator::MediationEngine::IntegratedResult> PrivateIye::QueryXml(
+    std::string_view piql_xml, const std::vector<std::string>& dedup_keys) {
+  PIYE_ASSIGN_OR_RETURN(source::PiqlQuery query, source::PiqlQuery::Parse(piql_xml));
+  return engine_.Execute(query, dedup_keys);
+}
+
+source::RemoteSource* PrivateIye::source(const std::string& owner) {
+  for (const auto& s : owned_sources_) {
+    if (s->owner() == owner) return s.get();
+  }
+  return nullptr;
+}
+
+}  // namespace core
+}  // namespace piye

@@ -1,0 +1,66 @@
+#ifndef PIYE_CORE_PRIVATE_IYE_H_
+#define PIYE_CORE_PRIVATE_IYE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mediator/engine.h"
+#include "source/remote_source.h"
+
+namespace piye {
+namespace core {
+
+/// PRIVATE-IYE: the top-level system facade. Owns the remote sources and
+/// the mediation engine and exposes the end-to-end flow a deployment uses:
+///
+///   PrivateIye system;
+///   auto* hmo = system.AddSource("HMO1", "compliance", table);
+///   hmo->mutable_policies()->AddPolicy(...);
+///   system.Initialize();
+///   auto result = system.QueryXml(R"(<query ...>...</query>)");
+///
+/// See examples/quickstart.cc for the full walk-through.
+class PrivateIye {
+ public:
+  explicit PrivateIye(mediator::MediationEngine::Options options);
+  PrivateIye() : PrivateIye(mediator::MediationEngine::Options()) {}
+
+  /// Creates, registers, and owns a new remote source; returns a stable
+  /// pointer for policy/RBAC configuration.
+  source::RemoteSource* AddSource(const std::string& owner,
+                                  const std::string& table_name,
+                                  relational::Table data, uint64_t seed = 0);
+
+  /// Registers an externally owned source.
+  void AddExternalSource(source::RemoteSource* src) { engine_.RegisterSource(src); }
+
+  /// Generates the mediated schema. Call after all sources are added.
+  Status Initialize(const std::string& shared_key = "private-iye");
+
+  /// Runs an integrated PIQL query.
+  Result<mediator::MediationEngine::IntegratedResult> Query(
+      const source::PiqlQuery& query, const std::vector<std::string>& dedup_keys = {});
+
+  /// Parses and runs a PIQL query from its XML text.
+  Result<mediator::MediationEngine::IntegratedResult> QueryXml(
+      std::string_view piql_xml, const std::vector<std::string>& dedup_keys = {});
+
+  mediator::MediationEngine* engine() { return &engine_; }
+  const match::MediatedSchema& mediated_schema() const {
+    return engine_.mediated_schema();
+  }
+
+  /// The owned source registered under `owner`, or nullptr.
+  source::RemoteSource* source(const std::string& owner);
+
+ private:
+  std::vector<std::unique_ptr<source::RemoteSource>> owned_sources_;
+  mediator::MediationEngine engine_;
+};
+
+}  // namespace core
+}  // namespace piye
+
+#endif  // PIYE_CORE_PRIVATE_IYE_H_

@@ -1,0 +1,63 @@
+#ifndef PIYE_CORE_WAREHOUSE_MINER_H_
+#define PIYE_CORE_WAREHOUSE_MINER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace piye {
+namespace core {
+
+/// The analysis layer the paper motivates the whole system with: "gathering
+/// all relevant data ... to a central repository and then run a set of
+/// algorithms against this data to detect trends and patterns". The miner
+/// runs over *privacy-preserved integrated results* (warehoused tables whose
+/// values have already been coarsened/audited by the pipeline), so mining
+/// never touches raw source data.
+class WarehouseMiner {
+ public:
+  /// A frequent itemset over (column=value) items.
+  struct Itemset {
+    std::vector<std::string> items;  ///< "column=value" strings, sorted
+    size_t support_count = 0;
+    double support = 0.0;
+  };
+
+  /// An association rule lhs → rhs.
+  struct Rule {
+    std::vector<std::string> lhs;
+    std::string rhs;
+    double support = 0.0;
+    double confidence = 0.0;
+    double lift = 0.0;
+  };
+
+  /// Apriori over the categorical (STRING/BOOL) columns of `table`: every
+  /// row is a transaction of column=value items. Returns all itemsets with
+  /// support >= `min_support`, sizes 1..`max_size`, sorted by descending
+  /// support.
+  static Result<std::vector<Itemset>> FrequentItemsets(
+      const relational::Table& table, double min_support, size_t max_size = 3);
+
+  /// Association rules derived from the frequent itemsets with confidence >=
+  /// `min_confidence`, sorted by descending lift.
+  static Result<std::vector<Rule>> AssociationRules(const relational::Table& table,
+                                                    double min_support,
+                                                    double min_confidence,
+                                                    size_t max_size = 3);
+
+  /// Per-group trend slopes: least-squares slope of `value_column` over
+  /// `time_column` for each distinct value of `group_column` — the outbreak
+  /// scenario's "understanding and predicting the progression" primitive.
+  static Result<std::map<std::string, double>> TrendSlopes(
+      const relational::Table& table, const std::string& group_column,
+      const std::string& time_column, const std::string& value_column);
+};
+
+}  // namespace core
+}  // namespace piye
+
+#endif  // PIYE_CORE_WAREHOUSE_MINER_H_

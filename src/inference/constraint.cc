@@ -1,0 +1,75 @@
+#include "inference/constraint.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace piye {
+namespace inference {
+
+size_t ConstraintSystem::AddVariable(std::string name, double lo, double hi) {
+  domains_.push_back({lo, hi});
+  names_.push_back(std::move(name));
+  return domains_.size() - 1;
+}
+
+Status ConstraintSystem::FixVariable(size_t var, double value) {
+  if (var >= domains_.size()) {
+    return Status::OutOfRange(strings::Format("variable %zu out of range", var));
+  }
+  domains_[var] = {value, value};
+  return Status::OK();
+}
+
+void ConstraintSystem::AddMeanConstraint(const std::vector<size_t>& vars, double mean,
+                                         double tol) {
+  // Stored in *sum* form (unit coefficients) so that overlapping aggregate
+  // constraints cancel term-by-term under the propagator's pairwise
+  // differencing — the mechanism that catches difference attacks.
+  LinearConstraint c;
+  const double n = static_cast<double>(vars.size());
+  for (size_t v : vars) c.terms.emplace_back(v, 1.0);
+  c.lo = n * (mean - tol);
+  c.hi = n * (mean + tol);
+  AddLinear(std::move(c));
+}
+
+void ConstraintSystem::AddStdDevConstraint(const std::vector<size_t>& vars,
+                                           double mean, double sigma, double tol) {
+  QuadraticConstraint c;
+  c.vars = vars;
+  c.center = mean;
+  const double n = static_cast<double>(vars.size());
+  const double lo_sigma = std::max(0.0, sigma - tol);
+  const double hi_sigma = sigma + tol;
+  c.lo = n * lo_sigma * lo_sigma;
+  c.hi = n * hi_sigma * hi_sigma;
+  AddQuadratic(std::move(c));
+}
+
+double ConstraintSystem::TotalViolation(const std::vector<double>& x) const {
+  double total = 0.0;
+  for (const auto& c : linear_) {
+    double s = 0.0;
+    for (const auto& [v, a] : c.terms) s += a * x[v];
+    if (s < c.lo) total += c.lo - s;
+    if (s > c.hi) total += s - c.hi;
+  }
+  for (const auto& c : quadratic_) {
+    double s = 0.0;
+    for (size_t v : c.vars) {
+      const double d = x[v] - c.center;
+      s += d * d;
+    }
+    if (s < c.lo) total += c.lo - s;
+    if (s > c.hi) total += s - c.hi;
+  }
+  for (size_t v = 0; v < domains_.size(); ++v) {
+    if (x[v] < domains_[v].lo) total += domains_[v].lo - x[v];
+    if (x[v] > domains_[v].hi) total += x[v] - domains_[v].hi;
+  }
+  return total;
+}
+
+}  // namespace inference
+}  // namespace piye

@@ -1,0 +1,83 @@
+#ifndef PIYE_INFERENCE_CONSTRAINT_H_
+#define PIYE_INFERENCE_CONSTRAINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace piye {
+namespace inference {
+
+/// A closed interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double width() const { return hi - lo; }
+  bool Contains(double x) const { return x >= lo && x <= hi; }
+  bool empty() const { return lo > hi; }
+};
+
+/// lo <= sum_i a_i * x_i <= hi.
+struct LinearConstraint {
+  std::vector<std::pair<size_t, double>> terms;  ///< (variable, coefficient)
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// lo <= sum_i (x_i - center)^2 <= hi — the form a published standard
+/// deviation takes once the mean is public: n*sigma^2 = sum (x_i - mean)^2.
+struct QuadraticConstraint {
+  std::vector<size_t> vars;
+  double center = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// The adversary's knowledge base in the Figure 1 model: box-bounded
+/// unknowns (the other parties' sensitive values), exactly known values (the
+/// snooper's own data), and the constraints induced by published aggregates.
+/// Both the attack (SnoopingAttack) and the defense (the mediator's
+/// inference auditor) build one of these.
+class ConstraintSystem {
+ public:
+  /// Adds a variable with the given prior domain; returns its index.
+  size_t AddVariable(std::string name, double lo, double hi);
+
+  /// Pins a variable to an exact value (attacker's own data).
+  Status FixVariable(size_t var, double value);
+
+  void AddLinear(LinearConstraint c) { linear_.push_back(std::move(c)); }
+  void AddQuadratic(QuadraticConstraint c) { quadratic_.push_back(std::move(c)); }
+
+  /// Convenience: mean of `vars` lies in [mean-tol, mean+tol].
+  void AddMeanConstraint(const std::vector<size_t>& vars, double mean, double tol);
+
+  /// Convenience: population stddev of `vars` (about the *published* mean)
+  /// lies in [sigma-tol, sigma+tol].
+  void AddStdDevConstraint(const std::vector<size_t>& vars, double mean, double sigma,
+                           double tol);
+
+  size_t num_variables() const { return domains_.size(); }
+  const Interval& domain(size_t var) const { return domains_[var]; }
+  const std::string& name(size_t var) const { return names_[var]; }
+  const std::vector<LinearConstraint>& linear() const { return linear_; }
+  const std::vector<QuadraticConstraint>& quadratic() const { return quadratic_; }
+
+  /// Sum of constraint violations at a point (0 iff feasible within
+  /// tolerances). Used by the penalty optimizer and as a feasibility check.
+  double TotalViolation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<Interval> domains_;
+  std::vector<std::string> names_;
+  std::vector<LinearConstraint> linear_;
+  std::vector<QuadraticConstraint> quadratic_;
+};
+
+}  // namespace inference
+}  // namespace piye
+
+#endif  // PIYE_INFERENCE_CONSTRAINT_H_

@@ -1,0 +1,163 @@
+#include "inference/interval_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace piye {
+namespace inference {
+
+namespace {
+
+/// Pairwise differences of linear constraints with small support — the
+/// Fourier–Motzkin step that lets bounds consistency see through difference
+/// attacks (e.g. SUM(0..n) − SUM(0..n-1) pins record n, which plain
+/// per-constraint propagation cannot derive).
+std::vector<LinearConstraint> DerivedDifferences(
+    const std::vector<LinearConstraint>& constraints, size_t max_support) {
+  std::vector<LinearConstraint> out;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    for (size_t j = 0; j < constraints.size(); ++j) {
+      if (i == j) continue;
+      const auto& a = constraints[i];
+      const auto& b = constraints[j];
+      // diff = a - b.
+      std::map<size_t, double> coeffs;
+      for (const auto& [v, coeff] : a.terms) coeffs[v] += coeff;
+      for (const auto& [v, coeff] : b.terms) coeffs[v] -= coeff;
+      LinearConstraint diff;
+      for (const auto& [v, coeff] : coeffs) {
+        if (std::fabs(coeff) > 1e-12) diff.terms.emplace_back(v, coeff);
+      }
+      if (diff.terms.empty() || diff.terms.size() > max_support ||
+          diff.terms.size() >= std::min(a.terms.size(), b.terms.size())) {
+        continue;  // no cancellation happened — nothing gained
+      }
+      diff.lo = a.lo - b.hi;
+      diff.hi = a.hi - b.lo;
+      out.push_back(std::move(diff));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Interval>> IntervalPropagator::Propagate(size_t max_rounds) const {
+  std::vector<Interval> dom;
+  dom.reserve(system_->num_variables());
+  for (size_t v = 0; v < system_->num_variables(); ++v) {
+    dom.push_back(system_->domain(v));
+  }
+  // Augment with difference constraints (support capped so the quadratic
+  // pair enumeration stays cheap and only genuinely tighter facts survive).
+  std::vector<LinearConstraint> linear = system_->linear();
+  const auto derived = DerivedDifferences(linear, /*max_support=*/6);
+  linear.insert(linear.end(), derived.begin(), derived.end());
+  const double kEps = 1e-12;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    // Linear constraints: lo <= sum a_i x_i <= hi.
+    for (const auto& c : linear) {
+      // Interval of the full sum.
+      for (size_t t = 0; t < c.terms.size(); ++t) {
+        const auto [var, coeff] = c.terms[t];
+        if (coeff == 0.0) continue;
+        // Sum of the other terms' interval.
+        double rest_lo = 0.0, rest_hi = 0.0;
+        for (size_t u = 0; u < c.terms.size(); ++u) {
+          if (u == t) continue;
+          const auto [v2, a2] = c.terms[u];
+          const double a_lo = a2 >= 0 ? a2 * dom[v2].lo : a2 * dom[v2].hi;
+          const double a_hi = a2 >= 0 ? a2 * dom[v2].hi : a2 * dom[v2].lo;
+          rest_lo += a_lo;
+          rest_hi += a_hi;
+        }
+        // coeff * x in [c.lo - rest_hi, c.hi - rest_lo].
+        double t_lo = c.lo - rest_hi;
+        double t_hi = c.hi - rest_lo;
+        double x_lo, x_hi;
+        if (coeff > 0) {
+          x_lo = t_lo / coeff;
+          x_hi = t_hi / coeff;
+        } else {
+          x_lo = t_hi / coeff;
+          x_hi = t_lo / coeff;
+        }
+        if (x_lo > dom[var].lo + kEps) {
+          dom[var].lo = x_lo;
+          changed = true;
+        }
+        if (x_hi < dom[var].hi - kEps) {
+          dom[var].hi = x_hi;
+          changed = true;
+        }
+        if (dom[var].empty()) {
+          return Status::InvalidArgument(
+              "constraint system is infeasible (variable '" + system_->name(var) +
+              "' has empty domain)");
+        }
+      }
+    }
+    // Quadratic constraints: lo <= sum (x_i - m)^2 <= hi.
+    for (const auto& c : system_->quadratic()) {
+      // Interval of each squared term.
+      auto sq_interval = [&](size_t v) {
+        const double a = dom[v].lo - c.center;
+        const double b = dom[v].hi - c.center;
+        const double hi = std::max(a * a, b * b);
+        const double lo = (a <= 0.0 && b >= 0.0) ? 0.0 : std::min(a * a, b * b);
+        return Interval{lo, hi};
+      };
+      for (size_t t = 0; t < c.vars.size(); ++t) {
+        double rest_lo = 0.0, rest_hi = 0.0;
+        for (size_t u = 0; u < c.vars.size(); ++u) {
+          if (u == t) continue;
+          const Interval s = sq_interval(c.vars[u]);
+          rest_lo += s.lo;
+          rest_hi += s.hi;
+        }
+        // (x - m)^2 in [max(0, lo - rest_hi), hi - rest_lo].
+        const double term_hi = c.hi - rest_lo;
+        if (term_hi < -kEps) {
+          return Status::InvalidArgument("constraint system is infeasible (quadratic)");
+        }
+        const double r = std::sqrt(std::max(0.0, term_hi));
+        const size_t var = c.vars[t];
+        // |x - m| <= r.
+        if (c.center - r > dom[var].lo + kEps) {
+          dom[var].lo = c.center - r;
+          changed = true;
+        }
+        if (c.center + r < dom[var].hi - kEps) {
+          dom[var].hi = c.center + r;
+          changed = true;
+        }
+        // A positive lower bound on the term only prunes when the domain is
+        // entirely on one side of the center.
+        const double term_lo = std::max(0.0, c.lo - rest_hi);
+        if (term_lo > 0.0) {
+          const double r_lo = std::sqrt(term_lo);
+          if (dom[var].lo >= c.center && c.center + r_lo > dom[var].lo + kEps) {
+            dom[var].lo = c.center + r_lo;
+            changed = true;
+          }
+          if (dom[var].hi <= c.center && c.center - r_lo < dom[var].hi - kEps) {
+            dom[var].hi = c.center - r_lo;
+            changed = true;
+          }
+        }
+        if (dom[var].empty()) {
+          return Status::InvalidArgument(
+              "constraint system is infeasible (variable '" + system_->name(var) +
+              "' has empty domain)");
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dom;
+}
+
+}  // namespace inference
+}  // namespace piye

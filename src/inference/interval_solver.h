@@ -1,0 +1,37 @@
+#ifndef PIYE_INFERENCE_INTERVAL_SOLVER_H_
+#define PIYE_INFERENCE_INTERVAL_SOLVER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "inference/constraint.h"
+
+namespace piye {
+namespace inference {
+
+/// Sound interval (bounds-consistency) propagation over a ConstraintSystem.
+///
+/// For each linear constraint, each variable's bounds are tightened against
+/// the interval evaluation of the remaining terms; quadratic constraints
+/// tighten |x - center| from the residual budget. Iterated to fixpoint, this
+/// yields an *outer* approximation of the feasible box: the true feasible
+/// values always lie inside the returned intervals. (The NLP solver
+/// complements it with attained, inner bounds.)
+class IntervalPropagator {
+ public:
+  explicit IntervalPropagator(const ConstraintSystem* system) : system_(system) {}
+
+  /// Propagates to fixpoint (or `max_rounds`). Returns the tightened domain
+  /// of every variable, or kPrivacyViolation-free InvalidArgument if the
+  /// system is infeasible (some domain became empty — the published
+  /// aggregates are inconsistent).
+  Result<std::vector<Interval>> Propagate(size_t max_rounds = 64) const;
+
+ private:
+  const ConstraintSystem* system_;
+};
+
+}  // namespace inference
+}  // namespace piye
+
+#endif  // PIYE_INFERENCE_INTERVAL_SOLVER_H_

@@ -1,0 +1,66 @@
+#ifndef PIYE_INFERENCE_NLP_SOLVER_H_
+#define PIYE_INFERENCE_NLP_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "inference/constraint.h"
+
+namespace piye {
+namespace inference {
+
+/// Attained bounds on one variable over the feasible set.
+struct BoundResult {
+  double lower = 0.0;
+  double upper = 0.0;
+  bool feasible = false;  ///< a feasible point was found at all
+};
+
+/// Multistart penalty-method non-linear programming solver — the "Non-Linear
+/// Programming technique" HMO1 uses in Figure 1 to turn published aggregates
+/// into tight intervals on its competitors' sensitive values.
+///
+/// For min/max of a target variable it runs projected descent from
+/// `restarts` random starting points: each iteration takes an objective step
+/// on the target variable and then restores feasibility by descending the
+/// constraint-violation gradient. Every recorded iterate is feasible
+/// (violation below `feasibility_tol`), so the returned interval is an inner
+/// (attained) approximation of the true range; combine with
+/// IntervalPropagator for the sound outer box.
+class NlpBoundSolver {
+ public:
+  struct Options {
+    size_t restarts = 24;
+    size_t iterations = 1200;    ///< objective steps per restart
+    double initial_step = 1.0;   ///< objective step size (decays to 0.01)
+    double feasibility_tol = 1e-4;
+  };
+
+  NlpBoundSolver(const ConstraintSystem* system, uint64_t seed)
+      : system_(system), seed_(seed), options_(Options()) {}
+  NlpBoundSolver(const ConstraintSystem* system, uint64_t seed, Options options)
+      : system_(system), seed_(seed), options_(options) {}
+
+  /// Attained [min, max] of variable `target`.
+  Result<BoundResult> Bound(size_t target) const;
+
+  /// Any feasible point (minimizes pure violation); error if none found.
+  Result<std::vector<double>> FindFeasiblePoint() const;
+
+ private:
+  /// direction: -1 minimizes x_target, +1 maximizes, 0 pure feasibility.
+  /// Returns the best feasible target value (or NaN) and best point.
+  double Optimize(size_t target, int direction, Rng* rng,
+                  std::vector<double>* best_point) const;
+
+  const ConstraintSystem* system_;
+  uint64_t seed_;
+  Options options_;
+};
+
+}  // namespace inference
+}  // namespace piye
+
+#endif  // PIYE_INFERENCE_NLP_SOLVER_H_

@@ -1,0 +1,41 @@
+#include "inference/privacy_loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace piye {
+namespace inference {
+namespace loss {
+
+double IntervalLoss(const Interval& prior, const Interval& posterior) {
+  if (prior.width() <= 0.0) return 0.0;
+  const double post = std::clamp(posterior.width(), 0.0, prior.width());
+  return 1.0 - post / prior.width();
+}
+
+double IntervalLossBits(const Interval& prior, const Interval& posterior) {
+  if (prior.width() <= 0.0) return 0.0;
+  const double post = std::max(posterior.width(), 1e-12);
+  return std::max(0.0, std::log2(prior.width() / post));
+}
+
+double AggregateLoss(const std::vector<double>& item_losses) {
+  double mx = 0.0;
+  for (double l : item_losses) mx = std::max(mx, l);
+  return mx;
+}
+
+double MeanLoss(const std::vector<double>& item_losses) {
+  if (item_losses.empty()) return 0.0;
+  double total = 0.0;
+  for (double l : item_losses) total += l;
+  return total / static_cast<double>(item_losses.size());
+}
+
+double RUScore(double disclosure_risk, double data_utility) {
+  return data_utility - disclosure_risk;
+}
+
+}  // namespace loss
+}  // namespace inference
+}  // namespace piye

@@ -1,0 +1,43 @@
+#ifndef PIYE_INFERENCE_PRIVACY_LOSS_H_
+#define PIYE_INFERENCE_PRIVACY_LOSS_H_
+
+#include <vector>
+
+#include "inference/constraint.h"
+
+namespace piye {
+namespace inference {
+
+/// Privacy metrics (the "Privacy metrics" research issue of Section 4): the
+/// paper asks for probabilistic notions of conditional loss — "decreasing
+/// the range of values an item could have, or increasing the probability of
+/// accuracy of an estimate" — rather than boolean revealed/not-revealed.
+namespace loss {
+
+/// Interval-narrowing loss in [0,1]: how much of the prior range the
+/// adversary eliminated. 0 = learned nothing; 1 = pinned exactly.
+double IntervalLoss(const Interval& prior, const Interval& posterior);
+
+/// Loss in bits for a uniform prior/posterior over the intervals:
+/// log2(prior.width / posterior.width), floored at 0 (never negative).
+double IntervalLossBits(const Interval& prior, const Interval& posterior);
+
+/// Aggregated privacy loss of a set of items (the mediator's Privacy
+/// Control aggregates per-source losses this way): the maximum per-item
+/// loss — privacy is judged by the worst-exposed individual, not the
+/// average.
+double AggregateLoss(const std::vector<double>& item_losses);
+
+/// Mean loss, reported alongside the max for diagnostics.
+double MeanLoss(const std::vector<double>& item_losses);
+
+/// The R-U confidentiality map coordinate (Duncan et al. [23]): returns
+/// disclosure risk R = max item loss and takes utility U in [0,1] from the
+/// caller; score = U - R (higher is a better release).
+double RUScore(double disclosure_risk, double data_utility);
+
+}  // namespace loss
+}  // namespace inference
+}  // namespace piye
+
+#endif  // PIYE_INFERENCE_PRIVACY_LOSS_H_

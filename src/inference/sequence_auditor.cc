@@ -1,0 +1,98 @@
+#include "inference/sequence_auditor.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "inference/interval_solver.h"
+#include "inference/privacy_loss.h"
+
+namespace piye {
+namespace inference {
+
+size_t SequenceAuditor::AddSensitiveValue(const std::string& name, double lo,
+                                          double hi, double true_value) {
+  const size_t var = system_.AddVariable(name, lo, hi);
+  true_values_.push_back(true_value);
+  priors_.push_back({lo, hi});
+  return var;
+}
+
+Result<double> SequenceAuditor::TryCommit(ConstraintSystem candidate, double answer) {
+  IntervalPropagator propagator(&candidate);
+  PIYE_ASSIGN_OR_RETURN(std::vector<Interval> bounds, propagator.Propagate());
+  for (size_t v = 0; v < bounds.size(); ++v) {
+    const double l = loss::IntervalLoss(priors_[v], bounds[v]);
+    if (l > max_loss_) {
+      ++refused_;
+      return Status::PrivacyViolation(strings::Format(
+          "disclosure would raise interval loss of '%s' to %.3f (max %.3f)",
+          system_.name(v).c_str(), l, max_loss_));
+    }
+  }
+  system_ = std::move(candidate);
+  ++committed_;
+  return answer;
+}
+
+Result<double> SequenceAuditor::DiscloseMean(const std::vector<size_t>& vars,
+                                             double tol) {
+  if (vars.empty()) return Status::InvalidArgument("empty variable set");
+  double mean = 0.0;
+  for (size_t v : vars) {
+    if (v >= true_values_.size()) return Status::OutOfRange("bad variable id");
+    mean += true_values_[v];
+  }
+  mean /= static_cast<double>(vars.size());
+  ConstraintSystem candidate = system_;
+  candidate.AddMeanConstraint(vars, mean, tol);
+  return TryCommit(std::move(candidate), mean);
+}
+
+Result<double> SequenceAuditor::DiscloseStdDev(const std::vector<size_t>& vars,
+                                               double tol) {
+  if (vars.empty()) return Status::InvalidArgument("empty variable set");
+  double mean = 0.0;
+  for (size_t v : vars) {
+    if (v >= true_values_.size()) return Status::OutOfRange("bad variable id");
+    mean += true_values_[v];
+  }
+  mean /= static_cast<double>(vars.size());
+  double var_acc = 0.0;
+  for (size_t v : vars) {
+    const double d = true_values_[v] - mean;
+    var_acc += d * d;
+  }
+  const double sigma = std::sqrt(var_acc / static_cast<double>(vars.size()));
+  ConstraintSystem candidate = system_;
+  candidate.AddStdDevConstraint(vars, mean, sigma, tol);
+  return TryCommit(std::move(candidate), sigma);
+}
+
+Result<double> SequenceAuditor::DiscloseExact(size_t var) {
+  if (var >= true_values_.size()) return Status::OutOfRange("bad variable id");
+  ConstraintSystem candidate = system_;
+  LinearConstraint c;
+  c.terms.emplace_back(var, 1.0);
+  c.lo = c.hi = true_values_[var];
+  candidate.AddLinear(std::move(c));
+  return TryCommit(std::move(candidate), true_values_[var]);
+}
+
+Result<std::vector<Interval>> SequenceAuditor::CurrentBounds() const {
+  IntervalPropagator propagator(&system_);
+  return propagator.Propagate();
+}
+
+Result<std::vector<double>> SequenceAuditor::CurrentLosses() const {
+  PIYE_ASSIGN_OR_RETURN(std::vector<Interval> bounds, CurrentBounds());
+  std::vector<double> out;
+  out.reserve(bounds.size());
+  for (size_t v = 0; v < bounds.size(); ++v) {
+    out.push_back(loss::IntervalLoss(priors_[v], bounds[v]));
+  }
+  return out;
+}
+
+}  // namespace inference
+}  // namespace piye

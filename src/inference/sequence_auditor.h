@@ -1,0 +1,74 @@
+#ifndef PIYE_INFERENCE_SEQUENCE_AUDITOR_H_
+#define PIYE_INFERENCE_SEQUENCE_AUDITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "inference/constraint.h"
+
+namespace piye {
+namespace inference {
+
+/// Answers the paper's hardest Section-4 question — "how do we ensure that a
+/// set of query results ... cannot be combined together to violate data
+/// privacy?" — by *simulating the adversary*: the auditor maintains the
+/// constraint system an attacker could build from everything disclosed so
+/// far, and refuses any new disclosure that would tighten some sensitive
+/// value's interval beyond the loss threshold.
+///
+/// Unlike the Chin auditor (exact-compromise only) this is a quantitative
+/// auditor: partial narrowing counts, matching the paper's probabilistic
+/// notion of privacy loss.
+class SequenceAuditor {
+ public:
+  /// `max_interval_loss` in [0,1]: the largest tolerated IntervalLoss for
+  /// any sensitive value.
+  explicit SequenceAuditor(double max_interval_loss)
+      : max_loss_(max_interval_loss) {}
+
+  /// Registers a sensitive value with its prior domain and (hidden) true
+  /// value; returns its variable id.
+  size_t AddSensitiveValue(const std::string& name, double lo, double hi,
+                           double true_value);
+
+  /// Proposes disclosing the mean of `vars` (± tol). If the resulting
+  /// constraint system would push any value's interval loss above the
+  /// threshold, returns kPrivacyViolation and discloses nothing; otherwise
+  /// commits the constraint and returns the true mean.
+  Result<double> DiscloseMean(const std::vector<size_t>& vars, double tol);
+
+  /// Same for the population standard deviation about the (already public
+  /// or simultaneously published) mean.
+  Result<double> DiscloseStdDev(const std::vector<size_t>& vars, double tol);
+
+  /// Proposes disclosing one value exactly (loss 1 for that item — only
+  /// allowed when max_interval_loss >= 1).
+  Result<double> DiscloseExact(size_t var);
+
+  /// Current sound interval for each sensitive value given all committed
+  /// disclosures.
+  Result<std::vector<Interval>> CurrentBounds() const;
+
+  /// Current per-value interval losses.
+  Result<std::vector<double>> CurrentLosses() const;
+
+  size_t disclosures_committed() const { return committed_; }
+  size_t disclosures_refused() const { return refused_; }
+
+ private:
+  /// Checks a candidate system; commits it if safe.
+  Result<double> TryCommit(ConstraintSystem candidate, double answer);
+
+  double max_loss_;
+  ConstraintSystem system_;
+  std::vector<double> true_values_;
+  std::vector<Interval> priors_;
+  size_t committed_ = 0;
+  size_t refused_ = 0;
+};
+
+}  // namespace inference
+}  // namespace piye
+
+#endif  // PIYE_INFERENCE_SEQUENCE_AUDITOR_H_

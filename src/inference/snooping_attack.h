@@ -1,0 +1,80 @@
+#ifndef PIYE_INFERENCE_SNOOPING_ATTACK_H_
+#define PIYE_INFERENCE_SNOOPING_ATTACK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "inference/constraint.h"
+#include "inference/nlp_solver.h"
+
+namespace piye {
+namespace inference {
+
+/// The published aggregates of Figure 1: for each measure (test), the mean
+/// and standard deviation across parties (Fig. 1(a)); for each party (HMO),
+/// its mean across measures (Fig. 1(b)). `tolerance` models the rounding of
+/// the published numbers (a value published as 83.0 constrains the true mean
+/// to 83.0 ± tolerance).
+struct PublishedAggregates {
+  std::vector<std::string> measures;  ///< e.g. {"HbA1c", "LipidProfile", "EyeExam"}
+  std::vector<std::string> parties;   ///< e.g. {"HMO1", ..., "HMO4"}
+  std::vector<double> measure_mean;   ///< per measure, across parties
+  std::vector<double> measure_sigma;  ///< per measure, across parties
+  std::vector<double> party_mean;     ///< per party, across measures
+  double tolerance = 0.05;
+  double value_lo = 0.0;   ///< prior domain of every cell
+  double value_hi = 100.0;
+
+  /// The exact aggregates of Figure 1 (PHC4 2001 diabetes data).
+  static PublishedAggregates Figure1();
+};
+
+/// What the snooping party knows: which party it is and its own exact values
+/// per measure.
+struct AttackerKnowledge {
+  size_t party_index = 0;
+  std::vector<double> own_values;
+
+  /// HMO1's knowledge in Figure 1(c): HbA1c 75.0, Lipid 56.0, Eye 43.0.
+  static AttackerKnowledge Figure1();
+};
+
+/// The result: an inferred interval per (measure, party) cell, plus the
+/// prior width for privacy-loss computation.
+struct AttackResult {
+  /// intervals[measure][party]; the attacker's own cells are width-0.
+  std::vector<std::vector<Interval>> intervals;
+  double prior_width = 100.0;
+
+  /// Mean interval width over the *unknown* cells (lower = worse breach).
+  double MeanUnknownWidth(size_t attacker_party) const;
+};
+
+/// Executes Figure 1's snooping attack: builds the constraint system from
+/// the published aggregates plus the attacker's own values, then bounds each
+/// unknown cell with the multistart NLP solver intersected with sound
+/// interval propagation.
+class SnoopingAttack {
+ public:
+  explicit SnoopingAttack(uint64_t seed, NlpBoundSolver::Options options = {})
+      : seed_(seed), options_(options) {}
+
+  /// Builds the adversary's constraint system (exposed for the defense,
+  /// which audits with the same machinery).
+  static Result<ConstraintSystem> BuildSystem(const PublishedAggregates& published,
+                                              const AttackerKnowledge& attacker);
+
+  Result<AttackResult> Run(const PublishedAggregates& published,
+                           const AttackerKnowledge& attacker) const;
+
+ private:
+  uint64_t seed_;
+  NlpBoundSolver::Options options_;
+};
+
+}  // namespace inference
+}  // namespace piye
+
+#endif  // PIYE_INFERENCE_SNOOPING_ATTACK_H_

@@ -1,0 +1,68 @@
+#ifndef PIYE_LINKAGE_BLOOM_H_
+#define PIYE_LINKAGE_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace piye {
+namespace linkage {
+
+/// A plain Bloom filter with double hashing (Kirsch–Mitzenmacher) over
+/// SHA-256-derived hash pairs.
+class BloomFilter {
+ public:
+  BloomFilter(size_t num_bits, size_t num_hashes);
+
+  void Insert(std::string_view item);
+  bool MaybeContains(std::string_view item) const;
+
+  size_t num_bits() const { return bits_.size(); }
+  size_t num_hashes() const { return num_hashes_; }
+  size_t PopCount() const;
+
+  /// Dice coefficient of two equally sized filters: 2|A∩B| / (|A|+|B|) over
+  /// set bits — the standard PPRL similarity score.
+  static double DiceSimilarity(const BloomFilter& a, const BloomFilter& b);
+
+  const std::vector<bool>& bits() const { return bits_; }
+
+ private:
+  void Positions(std::string_view item, std::vector<size_t>* out) const;
+
+  std::vector<bool> bits_;
+  size_t num_hashes_;
+};
+
+/// Schnell-style cryptographic-longterm-key encoding for privacy-preserving
+/// *approximate* record linkage: a record's identifying fields are split
+/// into character q-grams which are inserted into a Bloom filter keyed by a
+/// shared secret. Parties exchange only the filters; Dice similarity over
+/// filters approximates q-gram similarity over the underlying strings, so
+/// typos ("Jon Smith" / "John Smith") still link without revealing names.
+class BloomEncoder {
+ public:
+  struct Params {
+    size_t num_bits = 512;
+    size_t num_hashes = 4;
+    size_t q = 2;  ///< q-gram length
+  };
+
+  BloomEncoder(std::string shared_key, Params params)
+      : key_(std::move(shared_key)), params_(params) {}
+
+  /// Encodes the concatenated identifying fields of a record.
+  BloomFilter Encode(const std::vector<std::string>& fields) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  std::string key_;
+  Params params_;
+};
+
+}  // namespace linkage
+}  // namespace piye
+
+#endif  // PIYE_LINKAGE_BLOOM_H_

@@ -1,0 +1,36 @@
+#include "linkage/commutative_cipher.h"
+
+#include "common/modmath.h"
+
+namespace piye {
+namespace linkage {
+
+using modmath::kSafePrime;
+using modmath::kSubgroupOrder;
+
+CommutativeCipher::CommutativeCipher(Rng* rng) {
+  // Exponent in [2, q-1]; q is prime so any such exponent is invertible.
+  key_ = 2 + rng->NextBounded(kSubgroupOrder - 2);
+  inverse_key_ = modmath::PowMod(key_, kSubgroupOrder - 2, kSubgroupOrder);
+}
+
+CommutativeCipher::CommutativeCipher(uint64_t key) {
+  key_ = key % kSubgroupOrder;
+  if (key_ < 2) key_ = 2;
+  inverse_key_ = modmath::PowMod(key_, kSubgroupOrder - 2, kSubgroupOrder);
+}
+
+uint64_t CommutativeCipher::Encrypt(uint64_t element) const {
+  return modmath::PowMod(element, key_, kSafePrime);
+}
+
+uint64_t CommutativeCipher::Decrypt(uint64_t element) const {
+  return modmath::PowMod(element, inverse_key_, kSafePrime);
+}
+
+uint64_t CommutativeCipher::HashToGroup(std::string_view s) {
+  return modmath::HashToGroup(s.data(), s.size());
+}
+
+}  // namespace linkage
+}  // namespace piye

@@ -1,0 +1,51 @@
+#ifndef PIYE_LINKAGE_COMMUTATIVE_CIPHER_H_
+#define PIYE_LINKAGE_COMMUTATIVE_CIPHER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace piye {
+namespace linkage {
+
+/// Pohlig–Hellman-style commutative cipher over the prime-order subgroup of
+/// Z_p^* (p = modmath::kSafePrime): Enc_k(m) = m^k mod p.
+///
+/// Commutativity — Enc_a(Enc_b(m)) = Enc_b(Enc_a(m)) = m^(ab) — is exactly
+/// what the Agrawal–Evfimievski–Srikant information-sharing protocol [8]
+/// needs: two parties can blind each other's hashed keys and compare the
+/// doubly-blinded values without either seeing the other's plaintexts.
+///
+/// NOTE: the 61-bit group is a *simulation-scale* parameter (see DESIGN.md);
+/// the protocol structure and cost shape match a production 2048-bit group,
+/// the concrete security level does not.
+class CommutativeCipher {
+ public:
+  /// Draws a random exponent key in [2, q-1].
+  explicit CommutativeCipher(Rng* rng);
+  /// Uses a fixed exponent (tests).
+  explicit CommutativeCipher(uint64_t key);
+
+  /// Encrypts a group element.
+  uint64_t Encrypt(uint64_t element) const;
+
+  /// Removes this cipher's layer (works regardless of layering order —
+  /// that is the point of commutativity).
+  uint64_t Decrypt(uint64_t element) const;
+
+  /// Hashes an arbitrary string into the group (all parties must use the
+  /// same encoding before encrypting).
+  static uint64_t HashToGroup(std::string_view s);
+
+  uint64_t key() const { return key_; }
+
+ private:
+  uint64_t key_;
+  uint64_t inverse_key_;
+};
+
+}  // namespace linkage
+}  // namespace piye
+
+#endif  // PIYE_LINKAGE_COMMUTATIVE_CIPHER_H_

@@ -1,0 +1,105 @@
+#include "linkage/psi.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/sha256.h"
+#include "linkage/commutative_cipher.h"
+
+namespace piye {
+namespace linkage {
+
+Result<std::vector<std::string>> PlaintextJoin::Intersect(
+    const std::vector<std::string>& party_a, const std::vector<std::string>& party_b) {
+  stats_ = {};
+  std::unordered_set<std::string> b_set(party_b.begin(), party_b.end());
+  stats_.messages_exchanged = 1;
+  for (const auto& s : party_b) stats_.bytes_exchanged += s.size();
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const auto& a : party_a) {
+    if (b_set.count(a) != 0 && seen.insert(a).second) out.push_back(a);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<std::string>> HashPsi::Intersect(
+    const std::vector<std::string>& party_a, const std::vector<std::string>& party_b) {
+  stats_ = {};
+  auto digest = [this](const std::string& s) {
+    ++stats_.crypto_operations;
+    return Sha256::Hash64(salt_ + s);
+  };
+  std::unordered_set<uint64_t> b_digests;
+  for (const auto& b : party_b) b_digests.insert(digest(b));
+  stats_.messages_exchanged = 1;
+  stats_.bytes_exchanged = 8 * b_digests.size();
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const auto& a : party_a) {
+    if (b_digests.count(digest(a)) != 0 && seen.insert(a).second) out.push_back(a);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<std::string>> DhPsi::Intersect(
+    const std::vector<std::string>& party_a, const std::vector<std::string>& party_b) {
+  stats_ = {};
+  Rng rng(seed_);
+  const CommutativeCipher cipher_a(&rng);
+  const CommutativeCipher cipher_b(&rng);
+
+  // Round 1: A hashes and blinds its items, sends E_a(H(x)) to B.
+  // (Kept in A's input order so A can map doubly-blinded values back.)
+  std::vector<std::string> a_items;
+  {
+    std::unordered_set<std::string> seen;
+    for (const auto& a : party_a) {
+      if (seen.insert(a).second) a_items.push_back(a);
+    }
+  }
+  std::vector<uint64_t> a_blinded;
+  a_blinded.reserve(a_items.size());
+  for (const auto& a : a_items) {
+    a_blinded.push_back(cipher_a.Encrypt(CommutativeCipher::HashToGroup(a)));
+    stats_.crypto_operations += 2;
+  }
+  ++stats_.messages_exchanged;
+  stats_.bytes_exchanged += 8 * a_blinded.size();
+
+  // Round 2: B double-blinds A's values (returning them in A's order) and
+  // sends its own singly-blinded set.
+  std::vector<uint64_t> a_double;
+  a_double.reserve(a_blinded.size());
+  for (uint64_t v : a_blinded) {
+    a_double.push_back(cipher_b.Encrypt(v));
+    ++stats_.crypto_operations;
+  }
+  std::set<uint64_t> b_blinded;
+  for (const auto& b : party_b) {
+    b_blinded.insert(cipher_b.Encrypt(CommutativeCipher::HashToGroup(b)));
+    stats_.crypto_operations += 2;
+  }
+  ++stats_.messages_exchanged;
+  stats_.bytes_exchanged += 8 * (a_double.size() + b_blinded.size());
+
+  // Round 3: A double-blinds B's set and intersects.
+  std::unordered_set<uint64_t> b_double;
+  for (uint64_t v : b_blinded) {
+    b_double.insert(cipher_a.Encrypt(v));
+    ++stats_.crypto_operations;
+  }
+  std::vector<std::string> out;
+  for (size_t i = 0; i < a_items.size(); ++i) {
+    if (b_double.count(a_double[i]) != 0) out.push_back(a_items[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace linkage
+}  // namespace piye

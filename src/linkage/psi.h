@@ -1,0 +1,98 @@
+#ifndef PIYE_LINKAGE_PSI_H_
+#define PIYE_LINKAGE_PSI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace piye {
+namespace linkage {
+
+/// Statistics a PSI run reports alongside the intersection, so benchmarks
+/// can compare protocol cost and leakage surface.
+struct PsiStats {
+  size_t messages_exchanged = 0;   ///< logical protocol messages
+  size_t bytes_exchanged = 0;      ///< 8 bytes per transmitted group element/digest
+  size_t crypto_operations = 0;    ///< modular exponentiations / hashes
+};
+
+/// Private set intersection between two string multisets (duplicates are
+/// deduplicated internally; the result is the set intersection). Every
+/// protocol returns the matching *input strings of party A* — mirroring the
+/// mediator's use, where party A is the integrator that must recognize which
+/// of its candidate records matched.
+class PsiProtocol {
+ public:
+  virtual ~PsiProtocol() = default;
+
+  virtual Result<std::vector<std::string>> Intersect(
+      const std::vector<std::string>& party_a,
+      const std::vector<std::string>& party_b) = 0;
+
+  const PsiStats& stats() const { return stats_; }
+
+  /// What an eavesdropper (or the counterpart) learns beyond the
+  /// intersection — documentation surfaced by the abl-psi benchmark.
+  virtual const char* LeakageNote() const = 0;
+
+ protected:
+  PsiStats stats_;
+};
+
+/// Baseline: exchange plaintext values and hash-join. No privacy at all —
+/// the comparator the crypto protocols are measured against.
+class PlaintextJoin : public PsiProtocol {
+ public:
+  Result<std::vector<std::string>> Intersect(
+      const std::vector<std::string>& party_a,
+      const std::vector<std::string>& party_b) override;
+  const char* LeakageNote() const override {
+    return "entire input sets are revealed to both parties";
+  }
+};
+
+/// Hash-PSI: parties exchange (optionally salted) SHA-256 digests. Cheap,
+/// but digests of low-entropy identifiers fall to dictionary attacks; the
+/// shared salt only keeps third parties out, not the counterpart.
+class HashPsi : public PsiProtocol {
+ public:
+  explicit HashPsi(std::string shared_salt = "") : salt_(std::move(shared_salt)) {}
+
+  Result<std::vector<std::string>> Intersect(
+      const std::vector<std::string>& party_a,
+      const std::vector<std::string>& party_b) override;
+  const char* LeakageNote() const override {
+    return "counterpart can dictionary-attack digests of low-entropy keys";
+  }
+
+ private:
+  std::string salt_;
+};
+
+/// Commutative-encryption PSI (Agrawal–Evfimievski–Srikant, SIGMOD 2003):
+/// both parties blind hashed keys with private exponents; each item crosses
+/// the wire twice; the doubly-blinded values are comparable but neither
+/// party can unblind the other's singles. Semi-honest secure; leaks only
+/// set sizes and the intersection.
+class DhPsi : public PsiProtocol {
+ public:
+  explicit DhPsi(uint64_t seed) : seed_(seed) {}
+
+  Result<std::vector<std::string>> Intersect(
+      const std::vector<std::string>& party_a,
+      const std::vector<std::string>& party_b) override;
+  const char* LeakageNote() const override {
+    return "only set sizes and the intersection itself (semi-honest model)";
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace linkage
+}  // namespace piye
+
+#endif  // PIYE_LINKAGE_PSI_H_

@@ -1,0 +1,220 @@
+#include "mediator/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "source/metadata_tagger.h"
+#include "xml/parser.h"
+
+namespace piye {
+namespace mediator {
+
+namespace {
+
+class StageClock {
+ public:
+  explicit StageClock(std::vector<MediationEngine::StageTiming>* out) : out_(out) {
+    last_ = std::chrono::steady_clock::now();
+  }
+
+  void Mark(const std::string& stage) {
+    const auto now = std::chrono::steady_clock::now();
+    const double micros =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - last_).count() /
+        1000.0;
+    out_->push_back({stage, micros});
+    last_ = now;
+  }
+
+ private:
+  std::vector<MediationEngine::StageTiming>* out_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace
+
+MediationEngine::MediationEngine(Options options)
+    : options_(options),
+      control_(options.max_combined_loss, options.max_interval_loss) {}
+
+void MediationEngine::RegisterSource(source::RemoteSource* src) {
+  sources_.push_back(src);
+  schema_ready_ = false;
+}
+
+std::vector<std::string> MediationEngine::SourceOwners() const {
+  std::vector<std::string> out;
+  out.reserve(sources_.size());
+  for (const auto* s : sources_) out.push_back(s->owner());
+  return out;
+}
+
+Status MediationEngine::GenerateMediatedSchema(const std::string& shared_key) {
+  std::vector<match::ColumnSketch> sketches;
+  for (const auto* src : sources_) {
+    PIYE_ASSIGN_OR_RETURN(std::vector<match::ColumnSketch> s,
+                          src->ExportSketches(shared_key));
+    sketches.insert(sketches.end(), s.begin(), s.end());
+  }
+  match::SchemaMatcher::Options match_options;
+  match::MediatedSchemaGenerator generator(
+      match::SchemaMatcher(match_options, source::DefaultClinicalNameMatcher()));
+  PIYE_ASSIGN_OR_RETURN(schema_, generator.Generate(sketches));
+  schema_ready_ = true;
+  return Status::OK();
+}
+
+Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
+    const source::PiqlQuery& query, const std::vector<std::string>& dedup_keys) {
+  if (!schema_ready_) {
+    return Status::Internal("GenerateMediatedSchema must run before Execute");
+  }
+  IntegratedResult out;
+  StageClock clock(&out.timings);
+
+  // Warehouse lookup (hybrid virtual/materialized querying).
+  const std::string fingerprint = xml::Serialize(*query.ToXml(), /*indent=*/-1);
+  if (options_.enable_warehouse) {
+    auto cached = warehouse_.Get(fingerprint, epoch_, options_.warehouse_max_age);
+    clock.Mark("warehouse-lookup");
+    if (cached.has_value()) {
+      out.table = std::move(*cached);
+      out.from_warehouse = true;
+      return out;
+    }
+  } else {
+    clock.Mark("warehouse-lookup");
+  }
+
+  // Sequence-level budget for the requester.
+  if (history_.CumulativeLoss(query.requester) >= options_.max_cumulative_loss) {
+    return Status::PrivacyViolation("requester '" + query.requester +
+                                    "' has exhausted the cumulative loss budget");
+  }
+
+  // Fragmentation.
+  QueryFragmenter fragmenter(&schema_, source::DefaultClinicalNameMatcher());
+  PIYE_ASSIGN_OR_RETURN(QueryFragmenter::FragmentationResult fragments,
+                        fragmenter.Fragment(query, SourceOwners()));
+  out.sources_skipped = fragments.skipped;
+  clock.Mark("fragment");
+
+  // Per-source execution (each runs its full Fig. 2(a) pipeline).
+  struct Answer {
+    std::string owner;
+    source::RemoteSource::FragmentResult fragment;
+  };
+  std::vector<Answer> answers;
+  for (const auto& frag : fragments.fragments) {
+    source::RemoteSource* src = nullptr;
+    for (auto* s : sources_) {
+      if (s->owner() == frag.source) {
+        src = s;
+        break;
+      }
+    }
+    if (src == nullptr) continue;
+    auto result = src->ExecuteFragment(frag.query);
+    if (!result.ok()) {
+      if (result.status().IsPrivacyViolation()) {
+        Logger::Info("mediator", "source '" + frag.source + "' refused: " +
+                                     result.status().message());
+      }
+      out.sources_skipped[frag.source] = result.status().ToString();
+      continue;
+    }
+    answers.push_back({frag.source, std::move(result).value()});
+  }
+  clock.Mark("source-execution");
+  if (answers.empty()) {
+    return Status::PrivacyViolation(
+        "no source could serve the query within its privacy constraints");
+  }
+
+  // Privacy control: greedily suppress the highest-loss source results until
+  // the combined loss passes (the violating source "is notified" — here,
+  // recorded in sources_suppressed).
+  std::vector<const xml::XmlNode*> tagged;
+  for (const auto& a : answers) tagged.push_back(a.fragment.xml.get());
+  double combined = 0.0;
+  for (;;) {
+    auto check = control_.CheckIntegratedResults(tagged);
+    if (check.ok()) {
+      combined = *check;
+      break;
+    }
+    if (answers.size() <= 1) {
+      HistoryEntry entry;
+      entry.requester = query.requester;
+      entry.purpose = query.purpose;
+      entry.query_text = fingerprint;
+      entry.released = false;
+      history_.Record(std::move(entry));
+      return check.status();
+    }
+    // Drop the answer with the highest tagged loss.
+    size_t worst = 0;
+    double worst_loss = -1.0;
+    for (size_t i = 0; i < answers.size(); ++i) {
+      const double l =
+          source::MetadataTagger::ReadPrivacyLoss(*answers[i].fragment.xml);
+      if (l > worst_loss) {
+        worst_loss = l;
+        worst = i;
+      }
+    }
+    // The paper: violating results are excluded "and the remote source(s)
+    // is notified about the violation" — here, the notification channel is
+    // the log plus the sources_suppressed report.
+    Logger::Warn("mediator", "privacy control suppressed results of '" +
+                                 answers[worst].owner + "' for requester '" +
+                                 query.requester + "': " +
+                                 check.status().message());
+    out.sources_suppressed.push_back(answers[worst].owner);
+    answers.erase(answers.begin() + static_cast<ptrdiff_t>(worst));
+    tagged.clear();
+    for (const auto& a : answers) tagged.push_back(a.fragment.xml.get());
+  }
+  clock.Mark("privacy-control");
+
+  // Integration + private dedup. Dedup keys are requester-facing names, so
+  // resolve them loosely to mediated attribute names first.
+  std::vector<std::string> resolved_keys;
+  for (const auto& key : dedup_keys) {
+    auto attr = fragmenter.Resolve(key);
+    resolved_keys.push_back(attr.ok() ? (*attr)->name : key);
+  }
+  ResultIntegrator integrator(&schema_);
+  std::vector<ResultIntegrator::SourceResult> source_results;
+  for (const auto& a : answers) {
+    PIYE_ASSIGN_OR_RETURN(ResultIntegrator::SourceResult r,
+                          integrator.FromTaggedXml(*a.fragment.xml));
+    source_results.push_back(std::move(r));
+    out.sources_answered.push_back(a.owner);
+  }
+  PIYE_ASSIGN_OR_RETURN(out.table,
+                        integrator.Integrate(source_results, resolved_keys));
+  out.combined_privacy_loss = combined;
+  clock.Mark("integrate");
+
+  // History + warehouse.
+  HistoryEntry entry;
+  entry.requester = query.requester;
+  entry.purpose = query.purpose;
+  entry.query_text = fingerprint;
+  entry.sources_answered = out.sources_answered;
+  entry.sources_refused = out.sources_suppressed;
+  entry.aggregated_privacy_loss = combined;
+  entry.released = true;
+  history_.Record(std::move(entry));
+  if (options_.enable_warehouse) {
+    warehouse_.Put(fingerprint, out.table, epoch_);
+  }
+  clock.Mark("record");
+  return out;
+}
+
+}  // namespace mediator
+}  // namespace piye

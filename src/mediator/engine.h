@@ -1,0 +1,97 @@
+#ifndef PIYE_MEDIATOR_ENGINE_H_
+#define PIYE_MEDIATOR_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "match/mediated_schema.h"
+#include "mediator/fragmenter.h"
+#include "mediator/history.h"
+#include "mediator/privacy_control.h"
+#include "mediator/result_integrator.h"
+#include "mediator/warehouse.h"
+#include "source/remote_source.h"
+
+namespace piye {
+namespace mediator {
+
+/// The Privacy Preserving Mediation Engine of Figure 2(b), wired end to end:
+/// mediated-schema generation over source sketches, query fragmentation,
+/// per-source execution (each source runs its own Figure 2(a) pipeline),
+/// result integration with private dedup, privacy control over the
+/// integrated answer, history logging, and hybrid warehousing.
+class MediationEngine {
+ public:
+  struct Options {
+    /// Engine-wide ceiling on the combined privacy loss of one answer.
+    double max_combined_loss = 0.9;
+    /// Interval-loss threshold for the inference auditor.
+    double max_interval_loss = 0.9;
+    /// Per-requester cumulative loss budget across the whole history.
+    double max_cumulative_loss = 2.0;
+    /// Warehouse answers up to this many epochs old ("quick response for
+    /// emergencies"); the warehouse is bypassed when false.
+    bool enable_warehouse = true;
+    uint64_t warehouse_max_age = 1;
+  };
+
+  explicit MediationEngine(Options options);
+  MediationEngine() : MediationEngine(Options()) {}
+
+  /// Registers a remote source (non-owning; sources outlive the engine).
+  void RegisterSource(source::RemoteSource* src);
+  std::vector<std::string> SourceOwners() const;
+
+  /// Builds the mediated schema from the sources' privacy-respecting
+  /// sketches. Must be called before Execute.
+  Status GenerateMediatedSchema(const std::string& shared_key);
+  const match::MediatedSchema& mediated_schema() const { return schema_; }
+
+  /// Advances the logical clock (fresh epoch ⇒ warehouse entries age).
+  void AdvanceEpoch() { ++epoch_; }
+  uint64_t epoch() const { return epoch_; }
+
+  struct StageTiming {
+    std::string stage;
+    double micros = 0.0;
+  };
+
+  struct IntegratedResult {
+    relational::Table table;
+    double combined_privacy_loss = 0.0;
+    bool from_warehouse = false;
+    std::vector<std::string> sources_answered;
+    /// owner -> reason (could not serve the fragment).
+    std::map<std::string, std::string> sources_skipped;
+    /// owners whose results privacy control excluded from the answer.
+    std::vector<std::string> sources_suppressed;
+    std::vector<StageTiming> timings;
+  };
+
+  /// Runs one integrated query. `dedup_keys` names mediated attributes used
+  /// for PSI-style duplicate elimination (empty ⇒ whole-row distinct).
+  Result<IntegratedResult> Execute(const source::PiqlQuery& query,
+                                   const std::vector<std::string>& dedup_keys = {});
+
+  QueryHistory* history() { return &history_; }
+  Warehouse* warehouse() { return &warehouse_; }
+  PrivacyControl* control() { return &control_; }
+
+ private:
+  Options options_;
+  std::vector<source::RemoteSource*> sources_;
+  match::MediatedSchema schema_;
+  bool schema_ready_ = false;
+  QueryHistory history_;
+  Warehouse warehouse_;
+  PrivacyControl control_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace mediator
+}  // namespace piye
+
+#endif  // PIYE_MEDIATOR_ENGINE_H_

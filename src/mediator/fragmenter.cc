@@ -1,0 +1,110 @@
+#include "mediator/fragmenter.h"
+
+#include "common/macros.h"
+#include "source/query_transformer.h"
+
+namespace piye {
+namespace mediator {
+
+Result<const match::MediatedAttribute*> QueryFragmenter::Resolve(
+    const std::string& attribute) const {
+  const match::MediatedAttribute* attr =
+      schema_->FindByName(attribute, names_, threshold_);
+  if (attr == nullptr) {
+    return Status::NotFound("no mediated attribute matches '" + attribute + "'");
+  }
+  return attr;
+}
+
+Result<QueryFragmenter::FragmentationResult> QueryFragmenter::Fragment(
+    const source::PiqlQuery& query, const std::vector<std::string>& sources) const {
+  FragmentationResult out;
+  // Resolve every referenced attribute to a mediated attribute first.
+  std::map<std::string, const match::MediatedAttribute*> resolved;
+  std::vector<std::string> unresolved;
+  for (const auto& name : query.ReferencedAttributes()) {
+    auto attr = Resolve(name);
+    if (attr.ok()) {
+      resolved[name] = *attr;
+    } else {
+      unresolved.push_back(name);
+    }
+  }
+  // Attributes needed by WHERE / aggregate are mandatory everywhere.
+  std::set<std::string> mandatory;
+  if (query.where != nullptr) {
+    std::set<std::string> cols;
+    query.where->CollectColumns(&cols);
+    mandatory.insert(cols.begin(), cols.end());
+  }
+  if (query.aggregate.has_value()) {
+    if (!query.aggregate->attribute.empty()) mandatory.insert(query.aggregate->attribute);
+    for (const auto& g : query.aggregate->group_by) mandatory.insert(g);
+  }
+  for (const auto& name : unresolved) {
+    if (mandatory.count(name) != 0) {
+      return Status::NotFound(
+          "mandatory query attribute '" + name +
+          "' matches nothing in the mediated schema (it may be privacy-hidden)");
+    }
+  }
+
+  for (const auto& src : sources) {
+    // Build the per-source rename map: query attr -> source column.
+    std::map<std::string, std::string> bindings;
+    std::string missing;
+    for (const auto& [name, attr] : resolved) {
+      const auto mappings = schema_->MappingsAt(attr->name, src);
+      if (mappings.empty()) {
+        if (mandatory.count(name) != 0) {
+          missing = name;
+          break;
+        }
+        continue;  // optional select attribute simply absent at this source
+      }
+      bindings[name] = mappings.front().column;
+    }
+    if (!missing.empty()) {
+      out.skipped[src] = "lacks mandatory attribute '" + missing + "'";
+      continue;
+    }
+    source::PiqlQuery frag;
+    frag.requester = query.requester;
+    frag.purpose = query.purpose;
+    frag.max_information_loss = query.max_information_loss;
+    frag.target_path = query.target_path;
+    bool any_select = false;
+    if (query.aggregate.has_value()) {
+      source::PiqlAggregate agg;
+      agg.func = query.aggregate->func;
+      if (!query.aggregate->attribute.empty()) {
+        agg.attribute = bindings.at(query.aggregate->attribute);
+      }
+      for (const auto& g : query.aggregate->group_by) {
+        agg.group_by.push_back(bindings.at(g));
+      }
+      frag.aggregate = std::move(agg);
+      any_select = true;
+    } else {
+      for (const auto& sel : query.select) {
+        auto it = bindings.find(sel);
+        if (it == bindings.end()) continue;
+        frag.select.push_back(it->second);
+        any_select = true;
+      }
+    }
+    if (!any_select) {
+      out.skipped[src] = "no requested attribute is available";
+      continue;
+    }
+    if (query.where != nullptr) {
+      PIYE_ASSIGN_OR_RETURN(frag.where,
+                            source::RewriteColumns(query.where, bindings));
+    }
+    out.fragments.push_back({src, std::move(frag)});
+  }
+  return out;
+}
+
+}  // namespace mediator
+}  // namespace piye

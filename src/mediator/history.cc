@@ -1,0 +1,30 @@
+#include "mediator/history.h"
+
+namespace piye {
+namespace mediator {
+
+size_t QueryHistory::Record(HistoryEntry entry) {
+  entry.sequence_number = entries_.size();
+  if (entry.released) {
+    cumulative_loss_[entry.requester] += entry.aggregated_privacy_loss;
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.back().sequence_number;
+}
+
+double QueryHistory::CumulativeLoss(const std::string& requester) const {
+  auto it = cumulative_loss_.find(requester);
+  return it == cumulative_loss_.end() ? 0.0 : it->second;
+}
+
+std::vector<const HistoryEntry*> QueryHistory::ForRequester(
+    const std::string& requester) const {
+  std::vector<const HistoryEntry*> out;
+  for (const auto& e : entries_) {
+    if (e.requester == requester) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace mediator
+}  // namespace piye

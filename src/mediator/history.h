@@ -1,0 +1,50 @@
+#ifndef PIYE_MEDIATOR_HISTORY_H_
+#define PIYE_MEDIATOR_HISTORY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace piye {
+namespace mediator {
+
+/// One entry of the mediation engine's query history (the "History" store of
+/// Figure 2(b)). The history is what makes sequence-level privacy control
+/// possible: cumulative per-requester losses are tracked across queries.
+struct HistoryEntry {
+  size_t sequence_number = 0;
+  std::string requester;
+  std::string purpose;
+  std::string query_text;  ///< serialized PIQL
+  std::vector<std::string> sources_answered;
+  std::vector<std::string> sources_refused;
+  double aggregated_privacy_loss = 0.0;
+  bool released = false;  ///< false when privacy control suppressed the result
+};
+
+/// Append-only log with per-requester cumulative loss accounting.
+class QueryHistory {
+ public:
+  /// Appends and returns the assigned sequence number.
+  size_t Record(HistoryEntry entry);
+
+  const std::vector<HistoryEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Sum of released aggregated losses for a requester across the history —
+  /// the crude sequence-level budget the privacy control enforces on top of
+  /// the per-query checks.
+  double CumulativeLoss(const std::string& requester) const;
+
+  /// Entries issued by one requester.
+  std::vector<const HistoryEntry*> ForRequester(const std::string& requester) const;
+
+ private:
+  std::vector<HistoryEntry> entries_;
+  std::map<std::string, double> cumulative_loss_;
+};
+
+}  // namespace mediator
+}  // namespace piye
+
+#endif  // PIYE_MEDIATOR_HISTORY_H_

@@ -1,0 +1,100 @@
+#include "mediator/privacy_control.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "common/strings.h"
+#include "source/metadata_tagger.h"
+
+namespace piye {
+namespace mediator {
+
+double PrivacyControl::CombineLosses(const std::vector<double>& losses) {
+  double keep = 1.0;
+  for (double l : losses) keep *= 1.0 - l;
+  return 1.0 - keep;
+}
+
+Result<double> PrivacyControl::CheckIntegratedResults(
+    const std::vector<const xml::XmlNode*>& tagged_results) const {
+  // Per-data-item accounting: for every *protected* column (some source set
+  // a budget below 1 for it), combine the per-source losses and verify the
+  // combination still respects the tightest budget. Columns no policy
+  // constrains (budget 1.0 everywhere) carry no compounding risk.
+  struct ColumnAccount {
+    std::vector<double> losses;
+    double tightest_budget = 1.0;
+    std::string tightest_owner;
+  };
+  std::map<std::string, ColumnAccount> accounts;
+  bool any_column_metadata = false;
+  for (const xml::XmlNode* r : tagged_results) {
+    const std::string owner = source::MetadataTagger::ReadOwner(*r);
+    const xml::XmlNode* schema = r->FirstChild("schema");
+    if (schema == nullptr) continue;
+    for (const xml::XmlNode* col : schema->Children("column")) {
+      const std::string* name = col->GetAttr("name");
+      const std::string* loss = col->GetAttr("loss");
+      if (name == nullptr || loss == nullptr) continue;
+      any_column_metadata = true;
+      ColumnAccount& account = accounts[*name];
+      account.losses.push_back(std::strtod(loss->c_str(), nullptr));
+      const std::string* budget = col->GetAttr("budget");
+      const double b = budget != nullptr ? std::strtod(budget->c_str(), nullptr) : 1.0;
+      if (b < account.tightest_budget) {
+        account.tightest_budget = b;
+        account.tightest_owner = owner;
+      }
+    }
+  }
+  if (!any_column_metadata) {
+    // Hand-tagged results without schema columns: treat each result's
+    // root-level loss/budget as a single pseudo-item.
+    ColumnAccount& account = accounts["_result"];
+    for (const xml::XmlNode* r : tagged_results) {
+      account.losses.push_back(source::MetadataTagger::ReadPrivacyLoss(*r));
+      const double b = source::MetadataTagger::ReadLossBudget(*r);
+      if (b < account.tightest_budget) {
+        account.tightest_budget = b;
+        account.tightest_owner = source::MetadataTagger::ReadOwner(*r);
+      }
+    }
+  }
+  double overall = 0.0;
+  for (const auto& [name, account] : accounts) {
+    const double combined = CombineLosses(account.losses);
+    if (account.tightest_budget < 1.0 && combined > account.tightest_budget) {
+      return Status::PrivacyViolation(strings::Format(
+          "combined privacy loss %.3f of item '%s' exceeds source '%s' budget "
+          "%.3f — the per-source approval does not survive integration",
+          combined, name.c_str(), account.tightest_owner.c_str(),
+          account.tightest_budget));
+    }
+    if (account.tightest_budget < 1.0) overall = std::max(overall, combined);
+  }
+  if (overall > max_combined_loss_) {
+    return Status::PrivacyViolation(strings::Format(
+        "combined privacy loss %.3f exceeds the engine maximum %.3f", overall,
+        max_combined_loss_));
+  }
+  return overall;
+}
+
+size_t PrivacyControl::RegisterSensitiveCell(const std::string& name, double lo,
+                                             double hi, double true_value) {
+  return auditor_.AddSensitiveValue(name, lo, hi, true_value);
+}
+
+Result<double> PrivacyControl::ApproveMeanDisclosure(const std::vector<size_t>& cells,
+                                                     double tol) {
+  return auditor_.DiscloseMean(cells, tol);
+}
+
+Result<double> PrivacyControl::ApproveStdDevDisclosure(
+    const std::vector<size_t>& cells, double tol) {
+  return auditor_.DiscloseStdDev(cells, tol);
+}
+
+}  // namespace mediator
+}  // namespace piye

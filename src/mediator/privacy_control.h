@@ -1,0 +1,62 @@
+#ifndef PIYE_MEDIATOR_PRIVACY_CONTROL_H_
+#define PIYE_MEDIATOR_PRIVACY_CONTROL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "inference/sequence_auditor.h"
+#include "xml/node.h"
+
+namespace piye {
+namespace mediator {
+
+/// The Privacy Control of Figure 2(b). It re-verifies what the sources
+/// individually approved, because "the computed value of privacy loss in a
+/// source may not hold after the results are integrated with other sources":
+///
+///  1. *Metadata combination*: per-source tagged losses l_i combine as
+///     1 - Π(1 - l_i) — integrating independent partial disclosures about
+///     the same entities compounds. The combined loss must stay within
+///     every participating source's own budget.
+///  2. *Inference audit*: for releases of aggregates over registered
+///     sensitive cells, a SequenceAuditor simulates the snooping adversary
+///     of Figure 1 across the whole history and refuses any release that
+///     would narrow some cell's interval beyond the threshold — this is the
+///     defense the fig1-defense benchmark exercises.
+class PrivacyControl {
+ public:
+  PrivacyControl(double max_combined_loss, double max_interval_loss)
+      : max_combined_loss_(max_combined_loss), auditor_(max_interval_loss) {}
+
+  /// Combined loss of tagged per-source results: 1 - prod(1 - loss_i).
+  static double CombineLosses(const std::vector<double>& losses);
+
+  /// Checks the tagged <result> elements of one integrated answer. Fails
+  /// with kPrivacyViolation when the combined loss exceeds the engine-wide
+  /// maximum or any source's own budget; on success returns the combined
+  /// loss.
+  Result<double> CheckIntegratedResults(
+      const std::vector<const xml::XmlNode*>& tagged_results) const;
+
+  // --- Inference-audit interface (delegates to the sequence auditor) ---
+
+  /// Registers a sensitive cell the engine must protect across queries.
+  size_t RegisterSensitiveCell(const std::string& name, double lo, double hi,
+                               double true_value);
+
+  Result<double> ApproveMeanDisclosure(const std::vector<size_t>& cells, double tol);
+  Result<double> ApproveStdDevDisclosure(const std::vector<size_t>& cells, double tol);
+
+  const inference::SequenceAuditor& auditor() const { return auditor_; }
+  double max_combined_loss() const { return max_combined_loss_; }
+
+ private:
+  double max_combined_loss_;
+  inference::SequenceAuditor auditor_;
+};
+
+}  // namespace mediator
+}  // namespace piye
+
+#endif  // PIYE_MEDIATOR_PRIVACY_CONTROL_H_

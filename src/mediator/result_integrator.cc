@@ -1,0 +1,108 @@
+#include "mediator/result_integrator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "linkage/record_linkage.h"
+#include "relational/xml_bridge.h"
+#include "source/metadata_tagger.h"
+
+namespace piye {
+namespace mediator {
+
+namespace {
+
+const char* kAggPrefixes[] = {"count_", "sum_", "avg_", "min_", "max_", "stddev_"};
+
+/// Maps one source-local column name to its mediated name (or returns the
+/// input unchanged when no mapping exists).
+std::string MediatedName(const match::MediatedSchema& schema,
+                         const std::string& owner, const std::string& column) {
+  for (const auto& attr : schema.attributes()) {
+    for (const auto& m : attr.mappings) {
+      if (m.source == owner && m.column == column) return attr.name;
+    }
+  }
+  // Aggregate aliases: func_column → func_attribute.
+  for (const char* prefix : kAggPrefixes) {
+    if (strings::StartsWith(column, prefix)) {
+      const std::string inner = column.substr(std::string(prefix).size());
+      const std::string mapped = MediatedName(schema, owner, inner);
+      if (mapped != inner) return std::string(prefix) + mapped;
+      return column;
+    }
+  }
+  return column;
+}
+
+}  // namespace
+
+Result<ResultIntegrator::SourceResult> ResultIntegrator::FromTaggedXml(
+    const xml::XmlNode& result) const {
+  SourceResult out;
+  out.owner = source::MetadataTagger::ReadOwner(result);
+  PIYE_ASSIGN_OR_RETURN(out.table, relational::XmlToTable(result));
+  for (size_t c = 0; c < out.table.schema().num_columns(); ++c) {
+    out.table.mutable_schema().SetColumnName(
+        c, MediatedName(*schema_, out.owner, out.table.schema().column(c).name));
+  }
+  return out;
+}
+
+Result<relational::Table> ResultIntegrator::Integrate(
+    const std::vector<SourceResult>& results,
+    const std::vector<std::string>& dedup_keys) const {
+  // Ordered union of mediated column names.
+  std::vector<relational::Column> columns;
+  auto has_column = [&columns](const std::string& name) {
+    return std::any_of(columns.begin(), columns.end(),
+                       [&name](const relational::Column& c) { return c.name == name; });
+  };
+  for (const auto& r : results) {
+    for (const auto& col : r.table.schema().columns()) {
+      if (!has_column(col.name)) columns.push_back(col);
+    }
+  }
+  relational::Schema schema(columns);
+  schema.AddColumn({"_source", relational::ColumnType::kString});
+  relational::Table combined(schema);
+  for (const auto& r : results) {
+    // Per-source column index map (or -1 ⇒ NULL pad).
+    std::vector<long> src_idx(columns.size(), -1);
+    for (size_t c = 0; c < columns.size(); ++c) {
+      auto idx = r.table.schema().IndexOf(columns[c].name);
+      if (idx.ok()) src_idx[c] = static_cast<long>(*idx);
+    }
+    for (const auto& row : r.table.rows()) {
+      relational::Row out_row;
+      out_row.reserve(columns.size() + 1);
+      for (size_t c = 0; c < columns.size(); ++c) {
+        out_row.push_back(src_idx[c] < 0 ? relational::Value::Null()
+                                         : row[static_cast<size_t>(src_idx[c])]);
+      }
+      out_row.push_back(relational::Value::Str(r.owner));
+      combined.AppendRowUnchecked(std::move(out_row));
+    }
+  }
+  if (!dedup_keys.empty()) {
+    return linkage::DeduplicateByKey(combined, dedup_keys);
+  }
+  // Whole-row distinct ignoring provenance.
+  relational::Table out(combined.schema());
+  std::set<std::string> seen;
+  const size_t payload_cols = columns.size();
+  for (const auto& row : combined.rows()) {
+    std::string key;
+    for (size_t c = 0; c < payload_cols; ++c) {
+      key += row[c].ToDisplayString();
+      key += '\x1f';
+    }
+    if (seen.insert(key).second) out.AppendRowUnchecked(row);
+  }
+  return out;
+}
+
+}  // namespace mediator
+}  // namespace piye

@@ -1,0 +1,40 @@
+#include "mediator/warehouse.h"
+
+namespace piye {
+namespace mediator {
+
+void Warehouse::Put(const std::string& fingerprint, relational::Table table,
+                    uint64_t epoch) {
+  entries_.insert_or_assign(fingerprint, Entry{std::move(table), epoch});
+}
+
+std::optional<relational::Table> Warehouse::Get(const std::string& fingerprint,
+                                                uint64_t current_epoch,
+                                                uint64_t max_age) const {
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  const uint64_t age =
+      current_epoch >= it->second.epoch ? current_epoch - it->second.epoch : 0;
+  if (age > max_age) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second.table;
+}
+
+void Warehouse::EvictOlderThan(uint64_t epoch) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.epoch < epoch) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace mediator
+}  // namespace piye

@@ -1,0 +1,48 @@
+#ifndef PIYE_MEDIATOR_WAREHOUSE_H_
+#define PIYE_MEDIATOR_WAREHOUSE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "relational/table.h"
+
+namespace piye {
+namespace mediator {
+
+/// The local materialization side of the engine's hybrid warehousing /
+/// virtual-querying design (Section 5: the hybrid is chosen "due to the
+/// quick-response needed during emergency situations"). Integrated results
+/// are cached under their query fingerprint with a logical epoch; a lookup
+/// specifies how stale an answer it will accept.
+class Warehouse {
+ public:
+  /// Stores (replacing) a materialized result at the given logical epoch.
+  void Put(const std::string& fingerprint, relational::Table table, uint64_t epoch);
+
+  /// Returns the materialized table if one exists with
+  /// epoch >= current_epoch - max_age; otherwise nullopt.
+  std::optional<relational::Table> Get(const std::string& fingerprint,
+                                       uint64_t current_epoch, uint64_t max_age) const;
+
+  /// Drops everything older than the epoch horizon.
+  void EvictOlderThan(uint64_t epoch);
+
+  size_t size() const { return entries_.size(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    relational::Table table;
+    uint64_t epoch;
+  };
+  std::map<std::string, Entry> entries_;
+  mutable size_t hits_ = 0;
+  mutable size_t misses_ = 0;
+};
+
+}  // namespace mediator
+}  // namespace piye
+
+#endif  // PIYE_MEDIATOR_WAREHOUSE_H_

@@ -1,0 +1,78 @@
+#include "perturb/noise.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace piye {
+namespace perturb {
+
+std::vector<double> AdditiveNoise::Perturb(const std::vector<double>& xs,
+                                           Rng* rng) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    double r = 0.0;
+    switch (dist_) {
+      case Distribution::kGaussian:
+        r = rng->NextGaussian(0.0, scale_);
+        break;
+      case Distribution::kUniform:
+        r = rng->NextUniform(-scale_, scale_);
+        break;
+    }
+    out.push_back(x + r);
+  }
+  return out;
+}
+
+Status AdditiveNoise::PerturbColumn(relational::Table* table,
+                                    const std::string& column, Rng* rng) const {
+  PIYE_ASSIGN_OR_RETURN(size_t col, table->schema().IndexOf(column));
+  if (table->schema().column(col).type != relational::ColumnType::kDouble &&
+      table->schema().column(col).type != relational::ColumnType::kInt64) {
+    return Status::InvalidArgument("column '" + column + "' is not numeric");
+  }
+  for (relational::Row& row : table->mutable_rows()) {
+    if (row[col].is_null()) continue;
+    double x = row[col].AsDouble();
+    switch (dist_) {
+      case Distribution::kGaussian:
+        x += rng->NextGaussian(0.0, scale_);
+        break;
+      case Distribution::kUniform:
+        x += rng->NextUniform(-scale_, scale_);
+        break;
+    }
+    if (table->schema().column(col).type == relational::ColumnType::kInt64) {
+      row[col] = relational::Value::Int(static_cast<int64_t>(std::llround(x)));
+    } else {
+      row[col] = relational::Value::Real(x);
+    }
+  }
+  return Status::OK();
+}
+
+double AdditiveNoise::NoiseDensity(double r) const {
+  switch (dist_) {
+    case Distribution::kGaussian: {
+      const double z = r / scale_;
+      return std::exp(-0.5 * z * z) / (scale_ * std::sqrt(2.0 * M_PI));
+    }
+    case Distribution::kUniform:
+      return std::fabs(r) <= scale_ ? 1.0 / (2.0 * scale_) : 0.0;
+  }
+  return 0.0;
+}
+
+double OutputPerturbation::LaplaceNoise(double value, double scale, Rng* rng) {
+  return value + rng->NextLaplace(scale);
+}
+
+double OutputPerturbation::Round(double value, double precision) {
+  if (precision <= 0.0) return value;
+  return std::round(value / precision) * precision;
+}
+
+}  // namespace perturb
+}  // namespace piye

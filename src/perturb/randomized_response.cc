@@ -1,0 +1,75 @@
+#include "perturb/randomized_response.h"
+
+#include <cmath>
+
+namespace piye {
+namespace perturb {
+
+std::vector<bool> RandomizedResponse::RandomizeAll(const std::vector<bool>& truths,
+                                                   Rng* rng) const {
+  std::vector<bool> out;
+  out.reserve(truths.size());
+  for (bool t : truths) out.push_back(Randomize(t, rng));
+  return out;
+}
+
+Result<double> RandomizedResponse::EstimateProportion(
+    const std::vector<bool>& reports) const {
+  if (std::fabs(p_ - 0.5) < 1e-12) {
+    return Status::InvalidArgument("p = 0.5 destroys all information");
+  }
+  if (reports.empty()) return Status::InvalidArgument("no reports");
+  double yes = 0.0;
+  for (bool r : reports) yes += r ? 1.0 : 0.0;
+  const double rate = yes / static_cast<double>(reports.size());
+  const double est = (rate + p_ - 1.0) / (2.0 * p_ - 1.0);
+  return std::min(1.0, std::max(0.0, est));
+}
+
+double RandomizedResponse::PosteriorGivenYes(double prior_proportion) const {
+  // P(true | yes) = P(yes | true) P(true) / P(yes)
+  const double pi = prior_proportion;
+  const double p_yes = p_ * pi + (1.0 - p_) * (1.0 - pi);
+  if (p_yes <= 0.0) return 0.0;
+  return p_ * pi / p_yes;
+}
+
+size_t CategoricalRandomizedResponse::Randomize(size_t truth, Rng* rng) const {
+  if (k_ < 2 || rng->NextBernoulli(p_)) return truth;
+  // Uniform over the other k-1 categories.
+  size_t other = rng->NextBounded(k_ - 1);
+  if (other >= truth) ++other;
+  return other;
+}
+
+Result<std::vector<double>> CategoricalRandomizedResponse::EstimateFrequencies(
+    const std::vector<size_t>& reports) const {
+  if (k_ < 2) return Status::InvalidArgument("need at least 2 categories");
+  const double q = (1.0 - p_) / static_cast<double>(k_ - 1);
+  if (std::fabs(p_ - q) < 1e-12) {
+    return Status::InvalidArgument("keep probability destroys all information");
+  }
+  if (reports.empty()) return Status::InvalidArgument("no reports");
+  std::vector<double> observed(k_, 0.0);
+  for (size_t r : reports) {
+    if (r >= k_) return Status::OutOfRange("report category out of range");
+    observed[r] += 1.0;
+  }
+  for (double& o : observed) o /= static_cast<double>(reports.size());
+  // observed = q + (p - q) * truth  componentwise (since sum(truth)=1).
+  std::vector<double> est(k_);
+  for (size_t i = 0; i < k_; ++i) {
+    est[i] = (observed[i] - q) / (p_ - q);
+    est[i] = std::min(1.0, std::max(0.0, est[i]));
+  }
+  // Renormalize after clamping.
+  double total = 0.0;
+  for (double e : est) total += e;
+  if (total > 0.0) {
+    for (double& e : est) e /= total;
+  }
+  return est;
+}
+
+}  // namespace perturb
+}  // namespace piye

@@ -1,0 +1,69 @@
+#ifndef PIYE_PERTURB_RANDOMIZED_RESPONSE_H_
+#define PIYE_PERTURB_RANDOMIZED_RESPONSE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace piye {
+namespace perturb {
+
+/// Warner's randomized response (1965), the technique Du–Zhan apply to
+/// privacy-preserving mining [19]: each respondent reports their true binary
+/// value with probability p and its negation with probability 1-p. No single
+/// report is trustworthy, but the population proportion is recoverable:
+///
+///   pi_hat = (observed_rate + p - 1) / (2p - 1),  p != 1/2.
+class RandomizedResponse {
+ public:
+  /// `truth_probability` = p above; must be in (0,1] and != 0.5.
+  explicit RandomizedResponse(double truth_probability) : p_(truth_probability) {}
+
+  double truth_probability() const { return p_; }
+
+  /// Randomizes one response.
+  bool Randomize(bool truth, Rng* rng) const {
+    return rng->NextBernoulli(p_) ? truth : !truth;
+  }
+
+  /// Randomizes a population of responses.
+  std::vector<bool> RandomizeAll(const std::vector<bool>& truths, Rng* rng) const;
+
+  /// Unbiased estimate of the true proportion of `true` from randomized
+  /// reports.
+  Result<double> EstimateProportion(const std::vector<bool>& reports) const;
+
+  /// Posterior probability that a respondent's true value is `true` given a
+  /// `true` report and the estimated population proportion — the per-record
+  /// privacy metric for the perturbation benchmark (closer to the prior ⇒
+  /// more private).
+  double PosteriorGivenYes(double prior_proportion) const;
+
+ private:
+  double p_;
+};
+
+/// Generalization of randomized response to k categories (the "related
+/// question" design used for categorical attributes): keep the true category
+/// with probability p, otherwise answer uniformly among the other k-1.
+class CategoricalRandomizedResponse {
+ public:
+  CategoricalRandomizedResponse(size_t num_categories, double keep_probability)
+      : k_(num_categories), p_(keep_probability) {}
+
+  size_t Randomize(size_t truth, Rng* rng) const;
+
+  /// Unbiased estimates of true category frequencies from reports.
+  Result<std::vector<double>> EstimateFrequencies(
+      const std::vector<size_t>& reports) const;
+
+ private:
+  size_t k_;
+  double p_;
+};
+
+}  // namespace perturb
+}  // namespace piye
+
+#endif  // PIYE_PERTURB_RANDOMIZED_RESPONSE_H_

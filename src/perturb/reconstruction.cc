@@ -1,0 +1,71 @@
+#include "perturb/reconstruction.h"
+
+#include <cmath>
+
+namespace piye {
+namespace perturb {
+
+Result<std::vector<double>> DistributionReconstructor::Reconstruct(
+    const std::vector<double>& perturbed, const AdditiveNoise& noise,
+    size_t max_iters, double tol) const {
+  if (bins_ == 0 || hi_ <= lo_) {
+    return Status::InvalidArgument("bad reconstruction grid");
+  }
+  if (perturbed.empty()) {
+    return Status::InvalidArgument("no perturbed samples");
+  }
+  const size_t n = perturbed.size();
+  // Precompute noise densities: dens[i][a] = f_noise(w_i - center_a).
+  std::vector<std::vector<double>> dens(n, std::vector<double>(bins_));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < bins_; ++a) {
+      dens[i][a] = noise.NoiseDensity(perturbed[i] - bucket_center(a));
+    }
+  }
+  std::vector<double> f(bins_, 1.0 / static_cast<double>(bins_));
+  std::vector<double> next(bins_);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      double denom = 0.0;
+      for (size_t b = 0; b < bins_; ++b) denom += dens[i][b] * f[b];
+      if (denom <= 0.0) continue;
+      for (size_t a = 0; a < bins_; ++a) {
+        next[a] += dens[i][a] * f[a] / denom;
+      }
+    }
+    double total = 0.0;
+    for (double x : next) total += x;
+    if (total <= 0.0) return Status::Internal("reconstruction collapsed to zero");
+    for (double& x : next) x /= total;
+    const double delta = L1Distance(f, next);
+    f = next;
+    if (delta < tol) break;
+  }
+  return f;
+}
+
+std::vector<double> DistributionReconstructor::Bucketize(
+    const std::vector<double>& xs) const {
+  std::vector<double> f(bins_, 0.0);
+  if (xs.empty()) return f;
+  const double width = (hi_ - lo_) / static_cast<double>(bins_);
+  for (double x : xs) {
+    long b = static_cast<long>((x - lo_) / width);
+    if (b < 0) b = 0;
+    if (b >= static_cast<long>(bins_)) b = static_cast<long>(bins_) - 1;
+    f[static_cast<size_t>(b)] += 1.0;
+  }
+  for (double& p : f) p /= static_cast<double>(xs.size());
+  return f;
+}
+
+double DistributionReconstructor::L1Distance(const std::vector<double>& a,
+                                             const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) d += std::fabs(a[i] - b[i]);
+  return d;
+}
+
+}  // namespace perturb
+}  // namespace piye

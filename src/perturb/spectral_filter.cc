@@ -1,0 +1,135 @@
+#include "perturb/spectral_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace piye {
+namespace perturb {
+
+Result<EigenDecomposition> JacobiEigen(const std::vector<std::vector<double>>& sym,
+                                       size_t max_sweeps) {
+  const size_t n = sym.size();
+  for (const auto& row : sym) {
+    if (row.size() != n) return Status::InvalidArgument("matrix not square");
+  }
+  std::vector<std::vector<double>> a = sym;
+  // v starts as identity; columns become eigenvectors.
+  std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) v[i][i] = 1.0;
+
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += a[p][q] * a[p][q];
+    }
+    if (off < 1e-20) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(a[p][q]) < 1e-15) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a[k][p], akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a[p][k], aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v[k][p], vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  // Extract and sort by eigenvalue (descending).
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&a](size_t x, size_t y) { return a[x][x] > a[y][y]; });
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors.assign(n, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    out.eigenvalues[i] = a[order[i]][order[i]];
+    for (size_t k = 0; k < n; ++k) out.eigenvectors[i][k] = v[k][order[i]];
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<double>>> SpectralFilter::Filter(
+    const std::vector<std::vector<double>>& perturbed) const {
+  const size_t n = perturbed.size();
+  if (n == 0) return Status::InvalidArgument("no records");
+  const size_t d = perturbed[0].size();
+  for (const auto& row : perturbed) {
+    if (row.size() != d) return Status::InvalidArgument("ragged record matrix");
+  }
+  // Column means.
+  std::vector<double> mean(d, 0.0);
+  for (const auto& row : perturbed) {
+    for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+  // Covariance of the perturbed data.
+  std::vector<std::vector<double>> cov(d, std::vector<double>(d, 0.0));
+  for (const auto& row : perturbed) {
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = i; j < d; ++j) {
+        cov[i][j] += (row[i] - mean[i]) * (row[j] - mean[j]);
+      }
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      cov[i][j] /= static_cast<double>(n - 1);
+      cov[j][i] = cov[i][j];
+    }
+  }
+  PIYE_ASSIGN_OR_RETURN(EigenDecomposition eig, JacobiEigen(cov));
+  // Keep eigenvectors whose eigenvalue clears the noise floor.
+  std::vector<const std::vector<double>*> kept;
+  for (size_t i = 0; i < eig.eigenvalues.size(); ++i) {
+    if (eig.eigenvalues[i] > 2.0 * noise_variance_) kept.push_back(&eig.eigenvectors[i]);
+  }
+  if (kept.empty() && !eig.eigenvectors.empty()) {
+    kept.push_back(&eig.eigenvectors[0]);  // always keep the top component
+  }
+  // Project centered records onto the kept subspace, then un-center.
+  std::vector<std::vector<double>> out(n, std::vector<double>(d, 0.0));
+  for (size_t r = 0; r < n; ++r) {
+    for (const auto* vec : kept) {
+      double dot = 0.0;
+      for (size_t j = 0; j < d; ++j) dot += (perturbed[r][j] - mean[j]) * (*vec)[j];
+      for (size_t j = 0; j < d; ++j) out[r][j] += dot * (*vec)[j];
+    }
+    for (size_t j = 0; j < d; ++j) out[r][j] += mean[j];
+  }
+  return out;
+}
+
+double SpectralFilter::MatrixRmse(const std::vector<std::vector<double>>& a,
+                                  const std::vector<std::vector<double>>& b) {
+  double acc = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    for (size_t j = 0; j < a[i].size() && j < b[i].size(); ++j) {
+      const double diff = a[i][j] - b[i][j];
+      acc += diff * diff;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : std::sqrt(acc / static_cast<double>(count));
+}
+
+}  // namespace perturb
+}  // namespace piye

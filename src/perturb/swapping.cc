@@ -1,0 +1,111 @@
+#include "perturb/swapping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace piye {
+namespace perturb {
+
+std::vector<double> RankSwapper::Swap(const std::vector<double>& xs, Rng* rng) const {
+  const size_t n = xs.size();
+  if (n < 2) return xs;
+  // Order of indices by value.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
+  // Sorted values, then swap within rank windows.
+  std::vector<double> sorted(n);
+  for (size_t r = 0; r < n; ++r) sorted[r] = xs[order[r]];
+  const size_t window = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(window_pct_ / 100.0 * static_cast<double>(n))));
+  for (size_t r = 0; r + 1 < n; ++r) {
+    const size_t hi = std::min(n - 1, r + window);
+    const size_t partner = r + rng->NextBounded(hi - r + 1);
+    std::swap(sorted[r], sorted[partner]);
+  }
+  std::vector<double> out(n);
+  for (size_t r = 0; r < n; ++r) out[order[r]] = sorted[r];
+  return out;
+}
+
+Status RankSwapper::SwapColumn(relational::Table* table, const std::string& column,
+                               Rng* rng) const {
+  PIYE_ASSIGN_OR_RETURN(size_t col, table->schema().IndexOf(column));
+  std::vector<double> xs;
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < table->num_rows(); ++i) {
+    const relational::Value& v = table->row(i)[col];
+    if (v.is_null()) continue;
+    if (!v.is_numeric()) {
+      return Status::InvalidArgument("column '" + column + "' is not numeric");
+    }
+    xs.push_back(v.AsDouble());
+    rows.push_back(i);
+  }
+  const std::vector<double> swapped = Swap(xs, rng);
+  const bool is_int =
+      table->schema().column(col).type == relational::ColumnType::kInt64;
+  for (size_t j = 0; j < rows.size(); ++j) {
+    table->mutable_rows()[rows[j]][col] =
+        is_int ? relational::Value::Int(static_cast<int64_t>(std::llround(swapped[j])))
+               : relational::Value::Real(swapped[j]);
+  }
+  return Status::OK();
+}
+
+std::vector<double> Microaggregator::Aggregate(const std::vector<double>& xs) const {
+  const size_t n = xs.size();
+  if (n == 0 || k_ <= 1) return xs;
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> out(n);
+  size_t start = 0;
+  while (start < n) {
+    size_t end = start + k_;
+    // Last group absorbs the remainder so no group is smaller than k.
+    if (end > n || n - end < k_) end = n;
+    double mean = 0.0;
+    for (size_t r = start; r < end; ++r) mean += xs[order[r]];
+    mean /= static_cast<double>(end - start);
+    for (size_t r = start; r < end; ++r) out[order[r]] = mean;
+    start = end;
+  }
+  return out;
+}
+
+Status Microaggregator::AggregateColumn(relational::Table* table,
+                                        const std::string& column) const {
+  PIYE_ASSIGN_OR_RETURN(std::vector<double> xs, table->NumericColumn(column));
+  if (xs.size() != table->num_rows()) {
+    return Status::InvalidArgument("microaggregation requires no NULLs in column");
+  }
+  const std::vector<double> agg = Aggregate(xs);
+  PIYE_ASSIGN_OR_RETURN(size_t col, table->schema().IndexOf(column));
+  const bool is_int =
+      table->schema().column(col).type == relational::ColumnType::kInt64;
+  for (size_t i = 0; i < table->num_rows(); ++i) {
+    table->mutable_rows()[i][col] =
+        is_int ? relational::Value::Int(static_cast<int64_t>(std::llround(agg[i])))
+               : relational::Value::Real(agg[i]);
+  }
+  return Status::OK();
+}
+
+double Microaggregator::SumOfSquaredErrors(const std::vector<double>& original,
+                                           const std::vector<double>& released) {
+  double sse = 0.0;
+  for (size_t i = 0; i < original.size() && i < released.size(); ++i) {
+    const double d = original[i] - released[i];
+    sse += d * d;
+  }
+  return sse;
+}
+
+}  // namespace perturb
+}  // namespace piye

@@ -1,0 +1,52 @@
+#ifndef PIYE_POLICY_P3P_SHREDDER_H_
+#define PIYE_POLICY_P3P_SHREDDER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "policy/policy.h"
+#include "relational/executor.h"
+
+namespace piye {
+namespace policy {
+
+/// The server-centric P3P architecture of Agrawal et al. (ICDE 2004), which
+/// the paper's Related Work singles out: XML privacy policies are *shredded*
+/// into relational tables once, and preference checking becomes query
+/// evaluation against those tables — letting a deployment reuse its database
+/// machinery (indexes, auditing) for policy enforcement.
+///
+/// Shredded layout:
+///   p3p_rules(owner, rule_id, item_table, item_column, form, deny, max_loss)
+///   p3p_rule_purposes(owner, rule_id, purpose)
+///   p3p_rule_recipients(owner, rule_id, recipient)
+///
+/// `Evaluate` reproduces PrivacyPolicy::Evaluate semantics (deny-overrides,
+/// most-permissive grant, min budget, lattice-expanded purposes) purely via
+/// relational operators over the shredded tables — the round-trip property
+/// tests assert the two paths agree on arbitrary probes.
+class PolicyShredder {
+ public:
+  /// Shreds `policy` into `catalog`, creating the three tables if needed and
+  /// appending otherwise. Policies of several owners share the tables.
+  static Status Shred(const PrivacyPolicy& policy, relational::Catalog* catalog);
+
+  /// Relational re-implementation of PrivacyPolicy::Evaluate over the
+  /// shredded tables.
+  static Result<Disclosure> Evaluate(const relational::Catalog& catalog,
+                                     const std::string& owner,
+                                     const std::string& table,
+                                     const std::string& column,
+                                     const std::string& purpose,
+                                     const std::string& recipient,
+                                     const PurposeLattice& lattice);
+
+  /// Number of shredded rules for `owner` (0 when none / tables absent).
+  static size_t RuleCount(const relational::Catalog& catalog,
+                          const std::string& owner);
+};
+
+}  // namespace policy
+}  // namespace piye
+
+#endif  // PIYE_POLICY_P3P_SHREDDER_H_

@@ -1,0 +1,62 @@
+#ifndef PIYE_POLICY_POLICY_STORE_H_
+#define PIYE_POLICY_POLICY_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "policy/policy.h"
+#include "policy/preference.h"
+#include "policy/privacy_view.h"
+
+namespace piye {
+namespace policy {
+
+/// Registry of policies, views, and subject preferences for one deployment
+/// site. Section 3 requires the store to exist both at each remote source
+/// and inside the mediation engine (which re-verifies integrated results);
+/// both instantiate this class.
+class PolicyStore {
+ public:
+  /// Registers the policy of a source (keyed by the policy owner).
+  Status AddPolicy(PrivacyPolicy policy);
+  Result<const PrivacyPolicy*> GetPolicy(const std::string& owner) const;
+  bool HasPolicy(const std::string& owner) const;
+  std::vector<std::string> PolicyOwners() const;
+
+  /// Registers a privacy view (keyed by source owner + view name).
+  Status AddView(const std::string& owner, PrivacyView view);
+  Result<const PrivacyView*> GetView(const std::string& owner,
+                                     const std::string& view_name) const;
+  /// All views an owner defined over a given base table.
+  std::vector<const PrivacyView*> ViewsForTable(const std::string& owner,
+                                                const std::string& table) const;
+
+  /// Registers a data subject's preferences.
+  Status AddPreference(UserPreference pref);
+  Result<const UserPreference*> GetPreference(const std::string& subject_id) const;
+  /// All registered preferences (the rewriter enforces the strictest).
+  std::vector<const UserPreference*> AllPreferences() const;
+
+  const PurposeLattice& lattice() const { return lattice_; }
+  PurposeLattice& mutable_lattice() { return lattice_; }
+
+  /// Effective disclosure for (owner, table, column, purpose, recipient):
+  /// the source policy verdict met with every registered subject preference
+  /// that constrains the column.
+  Disclosure EffectiveDisclosure(const std::string& owner, const std::string& table,
+                                 const std::string& column, const std::string& purpose,
+                                 const std::string& recipient) const;
+
+ private:
+  PurposeLattice lattice_ = PurposeLattice::Default();
+  std::map<std::string, PrivacyPolicy> policies_;
+  std::map<std::pair<std::string, std::string>, PrivacyView> views_;
+  std::map<std::string, UserPreference> preferences_;
+};
+
+}  // namespace policy
+}  // namespace piye
+
+#endif  // PIYE_POLICY_POLICY_STORE_H_

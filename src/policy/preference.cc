@@ -1,0 +1,102 @@
+#include "policy/preference.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "xml/parser.h"
+
+namespace piye {
+namespace policy {
+
+Disclosure UserPreference::Evaluate(const std::string& category,
+                                    const std::string& purpose,
+                                    const PurposeLattice& lattice) const {
+  Disclosure out;
+  out.max_privacy_loss = 0.0;
+  bool any = false;
+  for (const PreferenceRule& rule : rules_) {
+    if (rule.data_category != "*" && rule.data_category != category) continue;
+    const bool purpose_ok = std::any_of(
+        rule.acceptable_purposes.begin(), rule.acceptable_purposes.end(),
+        [&](const std::string& p) { return lattice.Satisfies(purpose, p); });
+    if (!purpose_ok) continue;
+    any = true;
+    out.form = std::max(out.form, rule.max_form);
+    out.max_privacy_loss = std::max(out.max_privacy_loss, rule.max_privacy_loss);
+  }
+  if (!any) out.form = DisclosureForm::kDenied;
+  return out;
+}
+
+bool UserPreference::Accepts(const PolicyRule& rule,
+                             const PurposeLattice& lattice) const {
+  if (rule.deny) return true;  // a deny rule can never over-disclose
+  // Every purpose the policy rule grants must be acceptable at a form at
+  // least as revealing as the rule's form.
+  for (const std::string& purpose : rule.purposes) {
+    const std::string probe = purpose == "*" ? "any" : purpose;
+    const Disclosure d = Evaluate(rule.item.column, probe, lattice);
+    if (d.form < rule.form) return false;
+    if (d.max_privacy_loss < rule.max_privacy_loss) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<xml::XmlNode> UserPreference::ToXml() const {
+  auto node = xml::XmlNode::Element("preference");
+  node->SetAttr("subject", subject_id_);
+  for (const PreferenceRule& rule : rules_) {
+    xml::XmlNode* allow = node->AddElement("allow");
+    allow->SetAttr("category", rule.data_category);
+    allow->SetAttr("form", DisclosureFormToString(rule.max_form));
+    allow->SetAttr("maxLoss", strings::Format("%g", rule.max_privacy_loss));
+    for (const auto& p : rule.acceptable_purposes) {
+      allow->AddElementWithText("purpose", p);
+    }
+  }
+  return node;
+}
+
+Result<UserPreference> UserPreference::FromXml(const xml::XmlNode& node) {
+  if (node.name() != "preference") {
+    return Status::ParseError("expected <preference>, got <" + node.name() + ">");
+  }
+  const std::string* subject = node.GetAttr("subject");
+  UserPreference pref(subject != nullptr ? *subject : "");
+  for (const xml::XmlNode* allow : node.Children("allow")) {
+    PreferenceRule rule;
+    const std::string* category = allow->GetAttr("category");
+    rule.data_category = category != nullptr ? *category : "*";
+    const std::string* form = allow->GetAttr("form");
+    if (form == nullptr) return Status::ParseError("<allow> missing form");
+    PIYE_ASSIGN_OR_RETURN(rule.max_form, ParseDisclosureForm(*form));
+    const std::string* loss = allow->GetAttr("maxLoss");
+    rule.max_privacy_loss =
+        loss != nullptr ? std::strtod(loss->c_str(), nullptr) : 1.0;
+    for (const xml::XmlNode* p : allow->Children("purpose")) {
+      rule.acceptable_purposes.push_back(p->InnerText());
+    }
+    if (rule.acceptable_purposes.empty()) rule.acceptable_purposes.push_back("*");
+    pref.AddRule(std::move(rule));
+  }
+  return pref;
+}
+
+Result<UserPreference> UserPreference::Parse(std::string_view xml_text) {
+  PIYE_ASSIGN_OR_RETURN(xml::XmlDocument doc, xml::Parse(xml_text));
+  return FromXml(doc.root());
+}
+
+Disclosure Meet(const Disclosure& a, const Disclosure& b) {
+  Disclosure out;
+  out.form = std::min(a.form, b.form);
+  out.max_privacy_loss = std::min(a.max_privacy_loss, b.max_privacy_loss);
+  out.condition = relational::Expression::And(a.condition, b.condition);
+  out.rule_ids = a.rule_ids;
+  out.rule_ids.insert(out.rule_ids.end(), b.rule_ids.begin(), b.rule_ids.end());
+  return out;
+}
+
+}  // namespace policy
+}  // namespace piye

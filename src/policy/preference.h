@@ -1,0 +1,70 @@
+#ifndef PIYE_POLICY_PREFERENCE_H_
+#define PIYE_POLICY_PREFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "policy/policy.h"
+#include "xml/node.h"
+
+namespace piye {
+namespace policy {
+
+/// One rule of the *user* preference language (APPEL-flavored): how a data
+/// subject allows a category of their personal data to be shared — for which
+/// purposes, in what maximal form, with what tolerable privacy loss.
+struct PreferenceRule {
+  std::string data_category;  ///< column/category name, "*" = everything
+  std::vector<std::string> acceptable_purposes;  ///< "*" = any
+  DisclosureForm max_form = DisclosureForm::kDenied;
+  double max_privacy_loss = 0.0;
+};
+
+/// A data subject's privacy preferences. The policy formulation framework
+/// stores these at the source and at the mediator; during query rewriting the
+/// effective disclosure for an item is the *meet* (least permissive) of the
+/// source policy's verdict and the subject's preference.
+class UserPreference {
+ public:
+  UserPreference() = default;
+  explicit UserPreference(std::string subject_id)
+      : subject_id_(std::move(subject_id)) {}
+
+  const std::string& subject_id() const { return subject_id_; }
+  const std::vector<PreferenceRule>& rules() const { return rules_; }
+  void AddRule(PreferenceRule rule) { rules_.push_back(std::move(rule)); }
+
+  /// Most permissive form the subject accepts for (category, purpose), and
+  /// the matching loss budget. No matching rule ⇒ denied.
+  Disclosure Evaluate(const std::string& category, const std::string& purpose,
+                      const PurposeLattice& lattice) const;
+
+  /// True if a source policy rule's grant is consistent with (no more
+  /// permissive than) these preferences — the APPEL-style policy/preference
+  /// matching of Agrawal et al. [7] applied per rule.
+  bool Accepts(const PolicyRule& rule, const PurposeLattice& lattice) const;
+
+  /// XML form:
+  ///   <preference subject="patient-17">
+  ///     <allow category="dob" form="range" maxLoss="0.2">
+  ///       <purpose>research</purpose>
+  ///     </allow>
+  ///   </preference>
+  std::unique_ptr<xml::XmlNode> ToXml() const;
+  static Result<UserPreference> FromXml(const xml::XmlNode& node);
+  static Result<UserPreference> Parse(std::string_view xml_text);
+
+ private:
+  std::string subject_id_;
+  std::vector<PreferenceRule> rules_;
+};
+
+/// Combines a source-policy verdict with a subject-preference verdict by
+/// taking the least permissive form and smallest loss budget.
+Disclosure Meet(const Disclosure& a, const Disclosure& b);
+
+}  // namespace policy
+}  // namespace piye
+
+#endif  // PIYE_POLICY_PREFERENCE_H_

@@ -1,0 +1,85 @@
+#include "policy/privacy_view.h"
+
+#include "common/macros.h"
+#include "relational/sql.h"
+#include "xml/parser.h"
+
+namespace piye {
+namespace policy {
+
+DisclosureForm PrivacyView::FormFor(const std::string& column) const {
+  for (const auto& v : visible_) {
+    if (v == column || v == "*") return DisclosureForm::kExact;
+  }
+  for (const auto& s : sensitive_) {
+    if (s.name == column) return s.max_form;
+  }
+  return DisclosureForm::kDenied;
+}
+
+Result<relational::Table> PrivacyView::Apply(const relational::Table& base) const {
+  PIYE_ASSIGN_OR_RETURN(relational::Table filtered,
+                        relational::Executor::Filter(base, row_filter_));
+  std::vector<std::string> keep;
+  for (const auto& col : base.schema().columns()) {
+    if (FormFor(col.name) != DisclosureForm::kDenied) keep.push_back(col.name);
+  }
+  return relational::Executor::Project(filtered, keep);
+}
+
+std::unique_ptr<xml::XmlNode> PrivacyView::ToXml() const {
+  auto node = xml::XmlNode::Element("privacyView");
+  node->SetAttr("name", name_);
+  node->SetAttr("table", table_);
+  for (const auto& v : visible_) node->AddElementWithText("visible", v);
+  for (const auto& s : sensitive_) {
+    xml::XmlNode* el = node->AddElement("sensitive");
+    el->SetAttr("column", s.name);
+    el->SetAttr("form", DisclosureFormToString(s.max_form));
+  }
+  if (row_filter_ != nullptr) {
+    node->AddElementWithText("rowFilter", row_filter_->ToString());
+  }
+  return node;
+}
+
+Result<PrivacyView> PrivacyView::FromXml(const xml::XmlNode& node) {
+  if (node.name() != "privacyView") {
+    return Status::ParseError("expected <privacyView>, got <" + node.name() + ">");
+  }
+  const std::string* name = node.GetAttr("name");
+  const std::string* table = node.GetAttr("table");
+  if (name == nullptr || table == nullptr) {
+    return Status::ParseError("<privacyView> missing name/table");
+  }
+  PrivacyView view(*name, *table);
+  for (const xml::XmlNode* v : node.Children("visible")) {
+    view.AddVisibleColumn(v->InnerText());
+  }
+  for (const xml::XmlNode* s : node.Children("sensitive")) {
+    const std::string* column = s->GetAttr("column");
+    if (column == nullptr) return Status::ParseError("<sensitive> missing column");
+    SensitiveColumn sc;
+    sc.name = *column;
+    const std::string* form = s->GetAttr("form");
+    if (form != nullptr) {
+      PIYE_ASSIGN_OR_RETURN(sc.max_form, ParseDisclosureForm(*form));
+    }
+    view.AddSensitiveColumn(std::move(sc));
+  }
+  const xml::XmlNode* filter = node.FirstChild("rowFilter");
+  if (filter != nullptr) {
+    PIYE_ASSIGN_OR_RETURN(relational::ExprPtr expr,
+                          relational::ParseExpression(filter->InnerText()));
+    view.set_row_filter(std::move(expr));
+  }
+  return view;
+}
+
+Result<PrivacyView> PrivacyView::Parse(std::string_view xml_text) {
+  PIYE_ASSIGN_OR_RETURN(xml::XmlDocument doc, xml::Parse(xml_text));
+  return FromXml(doc.root());
+}
+
+}  // namespace policy
+}  // namespace piye

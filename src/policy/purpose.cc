@@ -1,0 +1,64 @@
+#include "policy/purpose.h"
+
+namespace piye {
+namespace policy {
+
+PurposeLattice PurposeLattice::Default() {
+  PurposeLattice lattice;
+  (void)lattice.AddPurpose("any", "");
+  (void)lattice.AddPurpose("healthcare", "any");
+  (void)lattice.AddPurpose("treatment", "healthcare");
+  (void)lattice.AddPurpose("disease-surveillance", "healthcare");
+  (void)lattice.AddPurpose("research", "healthcare");
+  (void)lattice.AddPurpose("quality-assessment", "healthcare");
+  (void)lattice.AddPurpose("commercial", "any");
+  (void)lattice.AddPurpose("marketing", "commercial");
+  (void)lattice.AddPurpose("national-security", "any");
+  (void)lattice.AddPurpose("outbreak-control", "disease-surveillance");
+  return lattice;
+}
+
+Status PurposeLattice::AddPurpose(const std::string& name, const std::string& parent) {
+  if (name.empty() || name == "*") {
+    return Status::InvalidArgument("invalid purpose name");
+  }
+  if (!parent.empty() && parent_.count(parent) == 0) {
+    return Status::NotFound("unknown parent purpose '" + parent + "'");
+  }
+  auto [it, inserted] = parent_.emplace(name, parent);
+  if (!inserted && it->second != parent) {
+    return Status::AlreadyExists("purpose '" + name + "' already has a parent");
+  }
+  return Status::OK();
+}
+
+bool PurposeLattice::Satisfies(const std::string& requester_purpose,
+                               const std::string& allowed_purpose) const {
+  if (allowed_purpose == "*") return true;
+  if (requester_purpose == allowed_purpose) return true;
+  // Walk up from the requester purpose looking for the allowed one.
+  auto it = parent_.find(requester_purpose);
+  if (it == parent_.end()) return false;
+  std::string cur = requester_purpose;
+  while (true) {
+    auto pit = parent_.find(cur);
+    if (pit == parent_.end() || pit->second.empty()) return false;
+    cur = pit->second;
+    if (cur == allowed_purpose) return true;
+  }
+}
+
+std::vector<std::string> PurposeLattice::Ancestors(const std::string& name) const {
+  std::vector<std::string> out;
+  std::string cur = name;
+  while (parent_.count(cur) != 0) {
+    out.push_back(cur);
+    const std::string& p = parent_.at(cur);
+    if (p.empty()) break;
+    cur = p;
+  }
+  return out;
+}
+
+}  // namespace policy
+}  // namespace piye

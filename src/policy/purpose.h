@@ -1,0 +1,49 @@
+#ifndef PIYE_POLICY_PURPOSE_H_
+#define PIYE_POLICY_PURPOSE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace piye {
+namespace policy {
+
+/// A hierarchy (forest) of purposes, e.g.:
+///
+///   any ─┬─ healthcare ─┬─ treatment
+///        │              ├─ disease-surveillance
+///        │              └─ research
+///        └─ commercial ─── marketing
+///
+/// A requester purpose `p` satisfies an allowed purpose `a` when p == a or p
+/// is a descendant of a (requesting for "treatment" satisfies a policy that
+/// allows "healthcare"). Purposes unknown to the lattice never satisfy
+/// anything except the wildcard "*".
+class PurposeLattice {
+ public:
+  /// Builds the default healthcare-flavored lattice used by the examples.
+  static PurposeLattice Default();
+
+  /// Adds a purpose under `parent` ("" for a root). Re-adding with a new
+  /// parent is an error.
+  Status AddPurpose(const std::string& name, const std::string& parent);
+
+  bool Contains(const std::string& name) const { return parent_.count(name) != 0; }
+
+  /// True if `requester_purpose` satisfies `allowed_purpose` (see class doc).
+  bool Satisfies(const std::string& requester_purpose,
+                 const std::string& allowed_purpose) const;
+
+  /// Chain from `name` up to its root, inclusive.
+  std::vector<std::string> Ancestors(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+}  // namespace policy
+}  // namespace piye
+
+#endif  // PIYE_POLICY_PURPOSE_H_

@@ -1,0 +1,371 @@
+#include "relational/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/macros.h"
+#include "common/stats.h"
+
+namespace piye {
+namespace relational {
+
+Status Catalog::AddTable(const std::string& name, Table table) {
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+void Catalog::PutTable(const std::string& name, Table table) {
+  tables_.insert_or_assign(name, std::move(table));
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named '" + name + "'");
+  return &it->second;
+}
+
+Result<Table*> Catalog::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named '" + name + "'");
+  return &it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) != 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+Result<Table> Executor::Filter(const Table& input, const ExprPtr& predicate) {
+  if (predicate == nullptr) {
+    Table out(input.schema());
+    for (const Row& r : input.rows()) out.AppendRowUnchecked(r);
+    return out;
+  }
+  Table out(input.schema());
+  for (const Row& r : input.rows()) {
+    PIYE_ASSIGN_OR_RETURN(bool keep, predicate->EvaluatesTrue(r, input.schema()));
+    if (keep) out.AppendRowUnchecked(r);
+  }
+  return out;
+}
+
+Result<Table> Executor::Project(const Table& input,
+                                const std::vector<std::string>& columns) {
+  PIYE_ASSIGN_OR_RETURN(Schema schema, input.schema().Project(columns));
+  std::vector<size_t> idx;
+  for (const auto& c : columns) {
+    PIYE_ASSIGN_OR_RETURN(size_t i, input.schema().IndexOf(c));
+    idx.push_back(i);
+  }
+  Table out(std::move(schema));
+  for (const Row& r : input.rows()) {
+    Row row;
+    row.reserve(idx.size());
+    for (size_t i : idx) row.push_back(r[i]);
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+namespace {
+
+/// Accumulator for one aggregate over one group.
+struct AggState {
+  size_t count = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  Value min;
+  Value max;
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    if (v.is_numeric()) {
+      const double x = v.AsDouble();
+      sum += x;
+      sum_sq += x * x;
+    }
+    if (min.is_null() || v.Compare(min) < 0) min = v;
+    if (max.is_null() || v.Compare(max) > 0) max = v;
+  }
+
+  Value Finish(AggFunc func) const {
+    switch (func) {
+      case AggFunc::kCount:
+        return Value::Int(static_cast<int64_t>(count));
+      case AggFunc::kSum:
+        return count == 0 ? Value::Null() : Value::Real(sum);
+      case AggFunc::kAvg:
+        return count == 0 ? Value::Null()
+                          : Value::Real(sum / static_cast<double>(count));
+      case AggFunc::kMin:
+        return min;
+      case AggFunc::kMax:
+        return max;
+      case AggFunc::kStdDev: {
+        if (count == 0) return Value::Null();
+        const double n = static_cast<double>(count);
+        const double mean = sum / n;
+        const double var = std::max(0.0, sum_sq / n - mean * mean);
+        return Value::Real(std::sqrt(var));
+      }
+    }
+    return Value::Null();
+  }
+};
+
+ColumnType AggResultType(AggFunc func, ColumnType input_type) {
+  switch (func) {
+    case AggFunc::kCount:
+      return ColumnType::kInt64;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return input_type;
+    default:
+      return ColumnType::kDouble;
+  }
+}
+
+}  // namespace
+
+Result<Table> Executor::Aggregate(const Table& input,
+                                  const std::vector<std::string>& group_by,
+                                  const std::vector<SelectItem>& aggregates) {
+  // Resolve group and aggregate column indices.
+  std::vector<size_t> group_idx;
+  for (const auto& g : group_by) {
+    PIYE_ASSIGN_OR_RETURN(size_t i, input.schema().IndexOf(g));
+    group_idx.push_back(i);
+  }
+  struct AggSpec {
+    AggFunc func;
+    long col = -1;  // -1 means COUNT(*)
+    std::string out_name;
+    ColumnType out_type;
+  };
+  std::vector<AggSpec> specs;
+  for (const auto& item : aggregates) {
+    if (item.kind != SelectItem::Kind::kAggregate) {
+      return Status::InvalidArgument("Aggregate() requires aggregate select items");
+    }
+    AggSpec spec;
+    spec.func = item.func;
+    spec.out_name = item.OutputName();
+    if (item.column.empty()) {
+      if (item.func != AggFunc::kCount) {
+        return Status::InvalidArgument("only COUNT can omit its column");
+      }
+      spec.out_type = ColumnType::kInt64;
+    } else {
+      PIYE_ASSIGN_OR_RETURN(size_t i, input.schema().IndexOf(item.column));
+      spec.col = static_cast<long>(i);
+      spec.out_type = AggResultType(item.func, input.schema().column(i).type);
+    }
+    specs.push_back(std::move(spec));
+  }
+  // Output schema: group columns then aggregates.
+  Schema out_schema;
+  for (size_t i : group_idx) out_schema.AddColumn(input.schema().column(i));
+  for (const auto& s : specs) out_schema.AddColumn({s.out_name, s.out_type});
+
+  // Group rows. Keys are rendered values (exact semantics incl. NULL).
+  std::map<std::vector<Value>, std::vector<AggState>> groups;
+  std::vector<std::vector<Value>> group_order;
+  for (const Row& r : input.rows()) {
+    std::vector<Value> key;
+    key.reserve(group_idx.size());
+    for (size_t i : group_idx) key.push_back(r[i]);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(key, std::vector<AggState>(specs.size())).first;
+      group_order.push_back(key);
+    }
+    for (size_t s = 0; s < specs.size(); ++s) {
+      if (specs[s].col < 0) {
+        ++it->second[s].count;  // COUNT(*)
+      } else {
+        it->second[s].Add(r[static_cast<size_t>(specs[s].col)]);
+      }
+    }
+  }
+  // Global aggregation over an empty input still yields one row.
+  if (group_idx.empty() && groups.empty()) {
+    groups.emplace(std::vector<Value>{}, std::vector<AggState>(specs.size()));
+    group_order.push_back({});
+  }
+  Table out(out_schema);
+  for (const auto& key : group_order) {
+    const auto& states = groups[key];
+    Row row = key;
+    for (size_t s = 0; s < specs.size(); ++s) {
+      Value v = states[s].Finish(specs[s].func);
+      // Widen exact ints into DOUBLE aggregate columns.
+      if (specs[s].out_type == ColumnType::kDouble && v.is_int()) {
+        v = Value::Real(v.AsDouble());
+      }
+      row.push_back(std::move(v));
+    }
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Result<Table> Executor::HashJoin(const Table& left, const Table& right,
+                                 const std::string& left_key,
+                                 const std::string& right_key,
+                                 const std::string& right_prefix) {
+  PIYE_ASSIGN_OR_RETURN(size_t li, left.schema().IndexOf(left_key));
+  PIYE_ASSIGN_OR_RETURN(size_t ri, right.schema().IndexOf(right_key));
+  Schema out_schema = left.schema();
+  std::vector<std::string> right_names;
+  for (const auto& col : right.schema().columns()) {
+    std::string name = col.name;
+    if (out_schema.Contains(name)) name = right_prefix + name;
+    right_names.push_back(name);
+    out_schema.AddColumn({name, col.type});
+  }
+  // Build hash table on the right input.
+  std::map<Value, std::vector<size_t>> build;
+  for (size_t i = 0; i < right.num_rows(); ++i) {
+    const Value& k = right.row(i)[ri];
+    if (k.is_null()) continue;
+    build[k].push_back(i);
+  }
+  Table out(std::move(out_schema));
+  for (const Row& lrow : left.rows()) {
+    const Value& k = lrow[li];
+    if (k.is_null()) continue;
+    auto it = build.find(k);
+    if (it == build.end()) continue;
+    for (size_t r : it->second) {
+      Row row = lrow;
+      for (const Value& v : right.row(r)) row.push_back(v);
+      out.AppendRowUnchecked(std::move(row));
+    }
+  }
+  return out;
+}
+
+Result<Table> Executor::Union(const Table& a, const Table& b) {
+  if (!(a.schema() == b.schema())) {
+    return Status::InvalidArgument("UNION requires identical schemas: [" +
+                                   a.schema().ToString() + "] vs [" +
+                                   b.schema().ToString() + "]");
+  }
+  Table out(a.schema());
+  for (const Row& r : a.rows()) out.AppendRowUnchecked(r);
+  for (const Row& r : b.rows()) out.AppendRowUnchecked(r);
+  return out;
+}
+
+Table Executor::Distinct(const Table& input) {
+  Table out(input.schema());
+  std::set<std::vector<Value>> seen;
+  for (const Row& r : input.rows()) {
+    if (seen.insert(r).second) out.AppendRowUnchecked(r);
+  }
+  return out;
+}
+
+Result<Table> Executor::Sort(Table input, const std::vector<OrderKey>& keys) {
+  std::vector<std::pair<size_t, bool>> idx;
+  for (const auto& k : keys) {
+    PIYE_ASSIGN_OR_RETURN(size_t i, input.schema().IndexOf(k.column));
+    idx.emplace_back(i, k.ascending);
+  }
+  std::stable_sort(input.mutable_rows().begin(), input.mutable_rows().end(),
+                   [&idx](const Row& a, const Row& b) {
+                     for (const auto& [i, asc] : idx) {
+                       const int c = a[i].Compare(b[i]);
+                       if (c != 0) return asc ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  return input;
+}
+
+Table Executor::Limit(const Table& input, size_t n) {
+  Table out(input.schema());
+  for (size_t i = 0; i < std::min(n, input.num_rows()); ++i) {
+    out.AppendRowUnchecked(input.row(i));
+  }
+  return out;
+}
+
+Result<Table> Executor::Execute(const SelectStatement& stmt) const {
+  PIYE_ASSIGN_OR_RETURN(const Table* base, catalog_->GetTable(stmt.table));
+  PIYE_ASSIGN_OR_RETURN(Table filtered, Filter(*base, stmt.where));
+
+  Table result;
+  if (stmt.HasAggregates() || !stmt.group_by.empty()) {
+    // Split items into group columns and aggregates; group columns must be in
+    // GROUP BY.
+    std::vector<SelectItem> aggs;
+    std::vector<std::string> out_columns;
+    for (const auto& item : stmt.items) {
+      if (item.kind == SelectItem::Kind::kStar) {
+        return Status::InvalidArgument("'*' cannot be mixed with aggregates");
+      }
+      if (item.kind == SelectItem::Kind::kAggregate) {
+        aggs.push_back(item);
+        out_columns.push_back(item.OutputName());
+      } else {
+        const bool grouped =
+            std::find(stmt.group_by.begin(), stmt.group_by.end(), item.column) !=
+            stmt.group_by.end();
+        if (!grouped) {
+          return Status::InvalidArgument("column '" + item.column +
+                                         "' must appear in GROUP BY");
+        }
+        out_columns.push_back(item.column);
+      }
+    }
+    PIYE_ASSIGN_OR_RETURN(Table agg, Aggregate(filtered, stmt.group_by, aggs));
+    // Reorder/alias output columns to the select-list order.
+    // Build rename-aware projection: group cols keep names; aggregates were
+    // named by OutputName already.
+    PIYE_ASSIGN_OR_RETURN(result, Project(agg, out_columns));
+  } else if (stmt.HasStar()) {
+    if (stmt.items.size() != 1) {
+      return Status::InvalidArgument("'*' must be the only select item");
+    }
+    result = filtered;
+  } else {
+    std::vector<std::string> columns;
+    for (const auto& item : stmt.items) columns.push_back(item.column);
+    PIYE_ASSIGN_OR_RETURN(result, Project(filtered, columns));
+  }
+  if (!stmt.order_by.empty()) {
+    PIYE_ASSIGN_OR_RETURN(result, Sort(std::move(result), stmt.order_by));
+  }
+  if (stmt.limit.has_value()) {
+    result = Limit(result, *stmt.limit);
+  }
+  // Apply SELECT aliases to the output schema.
+  if (!stmt.HasStar() && result.schema().num_columns() == stmt.items.size()) {
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      if (!stmt.items[i].alias.empty()) {
+        result.mutable_schema().SetColumnName(i, stmt.items[i].alias);
+      }
+    }
+  }
+  return result;
+}
+
+Result<Table> Executor::Query(std::string_view sql) const {
+  PIYE_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+  return Execute(stmt);
+}
+
+}  // namespace relational
+}  // namespace piye

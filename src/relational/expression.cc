@@ -1,0 +1,285 @@
+#include "relational/expression.h"
+
+#include "common/macros.h"
+
+namespace piye {
+namespace relational {
+
+ExprPtr Expression::Literal(Value v) {
+  auto e = std::shared_ptr<Expression>(new Expression());
+  e->op_ = Op::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expression::ColumnRef(std::string name) {
+  auto e = std::shared_ptr<Expression>(new Expression());
+  e->op_ = Op::kColumn;
+  e->column_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expression::Binary(Op op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expression>(new Expression());
+  e->op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expression::Not(ExprPtr operand) {
+  auto e = std::shared_ptr<Expression>(new Expression());
+  e->op_ = Op::kNot;
+  e->lhs_ = std::move(operand);
+  return e;
+}
+
+ExprPtr Expression::In(ExprPtr lhs, std::vector<Value> values) {
+  auto e = std::shared_ptr<Expression>(new Expression());
+  e->op_ = Op::kIn;
+  e->lhs_ = std::move(lhs);
+  e->in_values_ = std::move(values);
+  return e;
+}
+
+ExprPtr Expression::And(ExprPtr a, ExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  return Binary(Op::kAnd, std::move(a), std::move(b));
+}
+
+namespace {
+
+Result<Value> Arith(Expression::Op op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.is_numeric() || !b.is_numeric()) {
+    if (op == Expression::Op::kAdd && a.is_string() && b.is_string()) {
+      return Value::Str(a.AsString() + b.AsString());
+    }
+    return Status::InvalidArgument("arithmetic on non-numeric values");
+  }
+  const bool both_int = a.is_int() && b.is_int() && op != Expression::Op::kDiv;
+  const double x = a.AsDouble(), y = b.AsDouble();
+  double r = 0;
+  switch (op) {
+    case Expression::Op::kAdd:
+      r = x + y;
+      break;
+    case Expression::Op::kSub:
+      r = x - y;
+      break;
+    case Expression::Op::kMul:
+      r = x * y;
+      break;
+    case Expression::Op::kDiv:
+      if (y == 0.0) return Value::Null();
+      r = x / y;
+      break;
+    default:
+      return Status::Internal("not an arithmetic op");
+  }
+  if (both_int) return Value::Int(static_cast<int64_t>(r));
+  return Value::Real(r);
+}
+
+}  // namespace
+
+bool SqlLikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative wildcard match with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Value> Expression::Evaluate(const Row& row, const Schema& schema) const {
+  switch (op_) {
+    case Op::kLiteral:
+      return literal_;
+    case Op::kColumn: {
+      PIYE_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(column_));
+      return row[idx];
+    }
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      PIYE_ASSIGN_OR_RETURN(Value a, lhs_->Evaluate(row, schema));
+      PIYE_ASSIGN_OR_RETURN(Value b, rhs_->Evaluate(row, schema));
+      if (a.is_null() || b.is_null()) return Value::Boolean(false);
+      const int c = a.Compare(b);
+      bool r = false;
+      switch (op_) {
+        case Op::kEq:
+          r = c == 0;
+          break;
+        case Op::kNe:
+          r = c != 0;
+          break;
+        case Op::kLt:
+          r = c < 0;
+          break;
+        case Op::kLe:
+          r = c <= 0;
+          break;
+        case Op::kGt:
+          r = c > 0;
+          break;
+        case Op::kGe:
+          r = c >= 0;
+          break;
+        default:
+          break;
+      }
+      return Value::Boolean(r);
+    }
+    case Op::kAnd: {
+      PIYE_ASSIGN_OR_RETURN(bool a, lhs_->EvaluatesTrue(row, schema));
+      if (!a) return Value::Boolean(false);
+      PIYE_ASSIGN_OR_RETURN(bool b, rhs_->EvaluatesTrue(row, schema));
+      return Value::Boolean(b);
+    }
+    case Op::kOr: {
+      PIYE_ASSIGN_OR_RETURN(bool a, lhs_->EvaluatesTrue(row, schema));
+      if (a) return Value::Boolean(true);
+      PIYE_ASSIGN_OR_RETURN(bool b, rhs_->EvaluatesTrue(row, schema));
+      return Value::Boolean(b);
+    }
+    case Op::kNot: {
+      PIYE_ASSIGN_OR_RETURN(bool a, lhs_->EvaluatesTrue(row, schema));
+      return Value::Boolean(!a);
+    }
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv: {
+      PIYE_ASSIGN_OR_RETURN(Value a, lhs_->Evaluate(row, schema));
+      PIYE_ASSIGN_OR_RETURN(Value b, rhs_->Evaluate(row, schema));
+      return Arith(op_, a, b);
+    }
+    case Op::kLike: {
+      PIYE_ASSIGN_OR_RETURN(Value a, lhs_->Evaluate(row, schema));
+      PIYE_ASSIGN_OR_RETURN(Value b, rhs_->Evaluate(row, schema));
+      if (a.is_null() || b.is_null()) return Value::Boolean(false);
+      if (!a.is_string() || !b.is_string()) {
+        return Status::InvalidArgument("LIKE requires string operands");
+      }
+      return Value::Boolean(SqlLikeMatch(a.AsString(), b.AsString()));
+    }
+    case Op::kIn: {
+      PIYE_ASSIGN_OR_RETURN(Value a, lhs_->Evaluate(row, schema));
+      if (a.is_null()) return Value::Boolean(false);
+      for (const Value& v : in_values_) {
+        if (a.SqlEquals(v)) return Value::Boolean(true);
+      }
+      return Value::Boolean(false);
+    }
+  }
+  return Status::Internal("unhandled expression op");
+}
+
+Result<bool> Expression::EvaluatesTrue(const Row& row, const Schema& schema) const {
+  PIYE_ASSIGN_OR_RETURN(Value v, Evaluate(row, schema));
+  if (v.is_null()) return false;
+  if (v.is_bool()) return v.AsBool();
+  if (v.is_numeric()) return v.AsDouble() != 0.0;
+  return !v.AsString().empty();
+}
+
+void Expression::CollectColumns(std::set<std::string>* out) const {
+  if (op_ == Op::kColumn) out->insert(column_);
+  if (lhs_) lhs_->CollectColumns(out);
+  if (rhs_) rhs_->CollectColumns(out);
+}
+
+size_t Expression::NodeCount() const {
+  size_t n = 1;
+  if (lhs_) n += lhs_->NodeCount();
+  if (rhs_) n += rhs_->NodeCount();
+  return n;
+}
+
+std::string Expression::ToString() const {
+  switch (op_) {
+    case Op::kLiteral:
+      return literal_.ToString();
+    case Op::kColumn:
+      return column_;
+    case Op::kNot:
+      return "(NOT " + lhs_->ToString() + ")";
+    case Op::kIn: {
+      std::string out = "(" + lhs_->ToString() + " IN (";
+      for (size_t i = 0; i < in_values_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += in_values_[i].ToString();
+      }
+      return out + "))";
+    }
+    default: {
+      const char* sym = "?";
+      switch (op_) {
+        case Op::kEq:
+          sym = "=";
+          break;
+        case Op::kNe:
+          sym = "<>";
+          break;
+        case Op::kLt:
+          sym = "<";
+          break;
+        case Op::kLe:
+          sym = "<=";
+          break;
+        case Op::kGt:
+          sym = ">";
+          break;
+        case Op::kGe:
+          sym = ">=";
+          break;
+        case Op::kAnd:
+          sym = "AND";
+          break;
+        case Op::kOr:
+          sym = "OR";
+          break;
+        case Op::kAdd:
+          sym = "+";
+          break;
+        case Op::kSub:
+          sym = "-";
+          break;
+        case Op::kMul:
+          sym = "*";
+          break;
+        case Op::kDiv:
+          sym = "/";
+          break;
+        case Op::kLike:
+          sym = "LIKE";
+          break;
+        default:
+          break;
+      }
+      return "(" + lhs_->ToString() + " " + sym + " " + rhs_->ToString() + ")";
+    }
+  }
+}
+
+}  // namespace relational
+}  // namespace piye

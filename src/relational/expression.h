@@ -1,0 +1,98 @@
+#ifndef PIYE_RELATIONAL_EXPRESSION_H_
+#define PIYE_RELATIONAL_EXPRESSION_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace piye {
+namespace relational {
+
+/// A scalar expression tree over a row: literals, column references,
+/// comparisons, boolean connectives, arithmetic, LIKE, and IN lists.
+///
+/// Expressions are immutable once built and shared via shared_ptr so the
+/// privacy rewriter (source/privacy_rewriter.h) can compose policy predicates
+/// with requester predicates without copying subtrees.
+class Expression;
+using ExprPtr = std::shared_ptr<const Expression>;
+
+class Expression {
+ public:
+  enum class Op {
+    kLiteral,
+    kColumn,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kAnd,
+    kOr,
+    kNot,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kLike,  ///< SQL LIKE with % and _ wildcards
+    kIn,    ///< column IN (literal, ...)
+  };
+
+  // --- Factory functions ---
+  static ExprPtr Literal(Value v);
+  static ExprPtr ColumnRef(std::string name);
+  static ExprPtr Binary(Op op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Not(ExprPtr operand);
+  static ExprPtr In(ExprPtr lhs, std::vector<Value> values);
+  /// Conjunction helper; either side may be null (returns the other).
+  static ExprPtr And(ExprPtr a, ExprPtr b);
+
+  Op op() const { return op_; }
+  const Value& literal() const { return literal_; }
+  const std::string& column() const { return column_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+  const std::vector<Value>& in_values() const { return in_values_; }
+
+  /// Evaluates against a row. Comparisons with NULL yield FALSE (SQL-ish
+  /// two-valued simplification).
+  Result<Value> Evaluate(const Row& row, const Schema& schema) const;
+
+  /// Evaluates and coerces to a boolean (NULL → false).
+  Result<bool> EvaluatesTrue(const Row& row, const Schema& schema) const;
+
+  /// Column names referenced anywhere in the tree.
+  void CollectColumns(std::set<std::string>* out) const;
+
+  /// Number of nodes (used as a query feature by the cluster matcher).
+  size_t NodeCount() const;
+
+  /// SQL-ish rendering.
+  std::string ToString() const;
+
+ private:
+  Expression() = default;
+
+  Op op_ = Op::kLiteral;
+  Value literal_;
+  std::string column_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+  std::vector<Value> in_values_;
+};
+
+/// Returns true if `text` matches the SQL LIKE `pattern` (% = any run,
+/// _ = any single char). Exposed for testing.
+bool SqlLikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace relational
+}  // namespace piye
+
+#endif  // PIYE_RELATIONAL_EXPRESSION_H_

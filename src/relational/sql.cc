@@ -1,0 +1,517 @@
+#include "relational/sql.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace piye {
+namespace relational {
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kStdDev:
+      return "STDDEV";
+  }
+  return "?";
+}
+
+std::string SelectItem::OutputName() const {
+  if (!alias.empty()) return alias;
+  switch (kind) {
+    case Kind::kStar:
+      return "*";
+    case Kind::kColumn:
+      return column;
+    case Kind::kAggregate:
+      return std::string(AggFuncToString(func)) + "(" + (column.empty() ? "*" : column) +
+             ")";
+  }
+  return "?";
+}
+
+bool SelectStatement::HasAggregates() const {
+  for (const auto& item : items) {
+    if (item.kind == SelectItem::Kind::kAggregate) return true;
+  }
+  return false;
+}
+
+bool SelectStatement::HasStar() const {
+  for (const auto& item : items) {
+    if (item.kind == SelectItem::Kind::kStar) return true;
+  }
+  return false;
+}
+
+std::string SelectStatement::ToSql() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& it = items[i];
+    switch (it.kind) {
+      case SelectItem::Kind::kStar:
+        out += "*";
+        break;
+      case SelectItem::Kind::kColumn:
+        out += it.column;
+        break;
+      case SelectItem::Kind::kAggregate:
+        out += AggFuncToString(it.func);
+        out += "(";
+        out += it.column.empty() ? "*" : it.column;
+        out += ")";
+        break;
+    }
+    if (!it.alias.empty()) {
+      out += " AS ";
+      out += it.alias;
+    }
+  }
+  out += " FROM ";
+  out += table;
+  if (where != nullptr) {
+    out += " WHERE ";
+    out += where->ToString();
+  }
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    out += strings::Join(group_by, ", ");
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].column;
+      if (!order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (limit.has_value()) {
+    out += strings::Format(" LIMIT %zu", *limit);
+  }
+  return out;
+}
+
+namespace {
+
+struct Token {
+  enum class Type { kIdent, kNumber, kString, kSymbol, kEnd };
+  Type type = Type::kEnd;
+  std::string text;  // identifiers upper-cased only when compared as keywords
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view in) : in_(in) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= in_.size()) break;
+      const char c = in_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexIdent());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && pos_ + 1 < in_.size() &&
+                  std::isdigit(static_cast<unsigned char>(in_[pos_ + 1])))) {
+        out.push_back(LexNumber());
+      } else if (c == '\'') {
+        PIYE_ASSIGN_OR_RETURN(Token t, LexString());
+        out.push_back(std::move(t));
+      } else {
+        PIYE_ASSIGN_OR_RETURN(Token t, LexSymbol());
+        out.push_back(std::move(t));
+      }
+    }
+    out.push_back(Token{Token::Type::kEnd, ""});
+    return out;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < in_.size() && std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token LexIdent() {
+    const size_t start = pos_;
+    while (pos_ < in_.size() &&
+           (std::isalnum(static_cast<unsigned char>(in_[pos_])) || in_[pos_] == '_' ||
+            in_[pos_] == '.')) {
+      ++pos_;
+    }
+    return Token{Token::Type::kIdent, std::string(in_.substr(start, pos_ - start))};
+  }
+
+  Token LexNumber() {
+    const size_t start = pos_;
+    bool seen_dot = false;
+    while (pos_ < in_.size() &&
+           (std::isdigit(static_cast<unsigned char>(in_[pos_])) ||
+            (in_[pos_] == '.' && !seen_dot))) {
+      if (in_[pos_] == '.') seen_dot = true;
+      ++pos_;
+    }
+    return Token{Token::Type::kNumber, std::string(in_.substr(start, pos_ - start))};
+  }
+
+  Result<Token> LexString() {
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < in_.size()) {
+      if (in_[pos_] == '\'') {
+        if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '\'') {
+          text += '\'';  // escaped quote
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        return Token{Token::Type::kString, std::move(text)};
+      }
+      text += in_[pos_++];
+    }
+    return Status::ParseError("unterminated string literal");
+  }
+
+  Result<Token> LexSymbol() {
+    static const char* kTwoChar[] = {"<=", ">=", "<>", "!="};
+    for (const char* s : kTwoChar) {
+      if (in_.substr(pos_, 2) == s) {
+        pos_ += 2;
+        return Token{Token::Type::kSymbol, s};
+      }
+    }
+    const char c = in_[pos_];
+    if (std::string("(),*=<>+-/%").find(c) == std::string::npos) {
+      return Status::ParseError(strings::Format("unexpected character '%c'", c));
+    }
+    ++pos_;
+    return Token{Token::Type::kSymbol, std::string(1, c)};
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseSelect() {
+    SelectStatement stmt;
+    if (!MatchKeyword("SELECT")) return Error("expected SELECT");
+    PIYE_RETURN_NOT_OK(ParseSelectList(&stmt));
+    if (!MatchKeyword("FROM")) return Error("expected FROM");
+    PIYE_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
+    if (MatchKeyword("WHERE")) {
+      PIYE_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+    }
+    if (MatchKeyword("GROUP")) {
+      if (!MatchKeyword("BY")) return Error("expected BY after GROUP");
+      do {
+        PIYE_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        stmt.group_by.push_back(std::move(col));
+      } while (MatchSymbol(","));
+    }
+    if (MatchKeyword("ORDER")) {
+      if (!MatchKeyword("BY")) return Error("expected BY after ORDER");
+      do {
+        OrderKey key;
+        PIYE_ASSIGN_OR_RETURN(key.column, ExpectIdent());
+        if (MatchKeyword("DESC")) {
+          key.ascending = false;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(key));
+      } while (MatchSymbol(","));
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().type != Token::Type::kNumber) return Error("expected LIMIT count");
+      stmt.limit = static_cast<size_t>(std::strtoull(Peek().text.c_str(), nullptr, 10));
+      Advance();
+    }
+    if (Peek().type != Token::Type::kEnd) {
+      return Error("unexpected trailing tokens near '" + Peek().text + "'");
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseBareExpression() {
+    PIYE_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    if (Peek().type != Token::Type::kEnd) {
+      return Error("unexpected trailing tokens near '" + Peek().text + "'");
+    }
+    return e;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::ParseError("SQL parse error: " + what);
+  }
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() { ++pos_; }
+
+  bool MatchKeyword(const std::string& kw) {
+    if (Peek().type == Token::Type::kIdent &&
+        strings::ToLower(Peek().text) == strings::ToLower(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchSymbol(const std::string& sym) {
+    if (Peek().type == Token::Type::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().type != Token::Type::kIdent) {
+      return Error("expected identifier, got '" + Peek().text + "'");
+    }
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+
+  static bool IsAggName(const std::string& name, AggFunc* out) {
+    const std::string up = strings::ToLower(name);
+    if (up == "count") *out = AggFunc::kCount;
+    else if (up == "sum") *out = AggFunc::kSum;
+    else if (up == "avg") *out = AggFunc::kAvg;
+    else if (up == "min") *out = AggFunc::kMin;
+    else if (up == "max") *out = AggFunc::kMax;
+    else if (up == "stddev") *out = AggFunc::kStdDev;
+    else return false;
+    return true;
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    do {
+      SelectItem item;
+      if (MatchSymbol("*")) {
+        item = SelectItem::Star();
+      } else {
+        if (Peek().type != Token::Type::kIdent) {
+          return Error("expected column or aggregate in select list");
+        }
+        AggFunc func;
+        if (IsAggName(Peek().text, &func) && Peek(1).type == Token::Type::kSymbol &&
+            Peek(1).text == "(") {
+          Advance();  // func name
+          Advance();  // (
+          std::string col;
+          if (MatchSymbol("*")) {
+            if (func != AggFunc::kCount) {
+              return Error("only COUNT accepts '*'");
+            }
+          } else {
+            auto col_r = ExpectIdent();
+            if (!col_r.ok()) return col_r.status();
+            col = *col_r;
+          }
+          if (!MatchSymbol(")")) return Error("expected ')'");
+          item = SelectItem::Agg(func, std::move(col));
+        } else {
+          auto col_r = ExpectIdent();
+          if (!col_r.ok()) return col_r.status();
+          item = SelectItem::Col(*col_r);
+        }
+      }
+      if (MatchKeyword("AS")) {
+        auto alias_r = ExpectIdent();
+        if (!alias_r.ok()) return alias_r.status();
+        item.alias = *alias_r;
+      }
+      stmt->items.push_back(std::move(item));
+    } while (MatchSymbol(","));
+    return Status::OK();
+  }
+
+  // Expression grammar: or -> and -> not -> comparison -> additive ->
+  // multiplicative -> primary.
+  Result<ExprPtr> ParseOr() {
+    PIYE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (MatchKeyword("OR")) {
+      PIYE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expression::Binary(Expression::Op::kOr, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    PIYE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (MatchKeyword("AND")) {
+      PIYE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expression::Binary(Expression::Op::kAnd, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      PIYE_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return Expression::Not(e);
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    PIYE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    if (MatchKeyword("LIKE")) {
+      PIYE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return Expression::Binary(Expression::Op::kLike, lhs, rhs);
+    }
+    if (MatchKeyword("IN")) {
+      if (!MatchSymbol("(")) return Error("expected '(' after IN");
+      std::vector<Value> values;
+      do {
+        PIYE_ASSIGN_OR_RETURN(ExprPtr lit, ParsePrimary());
+        if (lit->op() != Expression::Op::kLiteral) {
+          return Error("IN list must contain literals");
+        }
+        values.push_back(lit->literal());
+      } while (MatchSymbol(","));
+      if (!MatchSymbol(")")) return Error("expected ')' after IN list");
+      return Expression::In(lhs, std::move(values));
+    }
+    struct {
+      const char* sym;
+      Expression::Op op;
+    } kOps[] = {{"<=", Expression::Op::kLe}, {">=", Expression::Op::kGe},
+                {"<>", Expression::Op::kNe}, {"!=", Expression::Op::kNe},
+                {"=", Expression::Op::kEq},  {"<", Expression::Op::kLt},
+                {">", Expression::Op::kGt}};
+    for (const auto& o : kOps) {
+      if (MatchSymbol(o.sym)) {
+        PIYE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return Expression::Binary(o.op, lhs, rhs);
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    PIYE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      if (MatchSymbol("+")) {
+        PIYE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expression::Binary(Expression::Op::kAdd, lhs, rhs);
+      } else if (MatchSymbol("-")) {
+        PIYE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expression::Binary(Expression::Op::kSub, lhs, rhs);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    PIYE_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+    for (;;) {
+      if (MatchSymbol("*")) {
+        PIYE_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+        lhs = Expression::Binary(Expression::Op::kMul, lhs, rhs);
+      } else if (MatchSymbol("/")) {
+        PIYE_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+        lhs = Expression::Binary(Expression::Op::kDiv, lhs, rhs);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case Token::Type::kNumber: {
+        const std::string text = t.text;
+        Advance();
+        if (text.find('.') != std::string::npos) {
+          return Expression::Literal(Value::Real(std::strtod(text.c_str(), nullptr)));
+        }
+        return Expression::Literal(
+            Value::Int(std::strtoll(text.c_str(), nullptr, 10)));
+      }
+      case Token::Type::kString: {
+        std::string text = t.text;
+        Advance();
+        return Expression::Literal(Value::Str(std::move(text)));
+      }
+      case Token::Type::kIdent: {
+        const std::string lower = strings::ToLower(t.text);
+        if (lower == "true") {
+          Advance();
+          return Expression::Literal(Value::Boolean(true));
+        }
+        if (lower == "false") {
+          Advance();
+          return Expression::Literal(Value::Boolean(false));
+        }
+        if (lower == "null") {
+          Advance();
+          return Expression::Literal(Value::Null());
+        }
+        std::string name = t.text;
+        Advance();
+        return Expression::ColumnRef(std::move(name));
+      }
+      case Token::Type::kSymbol:
+        if (t.text == "(") {
+          Advance();
+          PIYE_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+          if (!MatchSymbol(")")) return Error("expected ')'");
+          return e;
+        }
+        if (t.text == "-") {
+          Advance();
+          PIYE_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+          return Expression::Binary(Expression::Op::kSub,
+                                    Expression::Literal(Value::Int(0)), e);
+        }
+        return Error("unexpected symbol '" + t.text + "'");
+      case Token::Type::kEnd:
+        return Error("unexpected end of input");
+    }
+    return Error("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSql(std::string_view sql) {
+  PIYE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(sql).Run());
+  return Parser(std::move(tokens)).ParseSelect();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view text) {
+  PIYE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(text).Run());
+  return Parser(std::move(tokens)).ParseBareExpression();
+}
+
+}  // namespace relational
+}  // namespace piye

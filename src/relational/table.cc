@@ -1,0 +1,101 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace piye {
+namespace relational {
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(strings::Format(
+        "row arity %zu does not match schema arity %zu", row.size(),
+        schema_.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    auto type = row[i].Type();
+    if (!type.ok()) return type.status();
+    // INT64 values are accepted into DOUBLE columns (numeric widening).
+    if (*type == schema_.column(i).type) continue;
+    if (*type == ColumnType::kInt64 && schema_.column(i).type == ColumnType::kDouble) {
+      row[i] = Value::Real(row[i].AsDouble());
+      continue;
+    }
+    return Status::InvalidArgument(strings::Format(
+        "column '%s' expects %s but got %s", schema_.column(i).name.c_str(),
+        ColumnTypeToString(schema_.column(i).type), ColumnTypeToString(*type)));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Value> Table::At(size_t row_idx, const std::string& column) const {
+  if (row_idx >= rows_.size()) {
+    return Status::OutOfRange(strings::Format("row %zu out of %zu", row_idx,
+                                              rows_.size()));
+  }
+  PIYE_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
+  return rows_[row_idx][col];
+}
+
+Result<std::vector<Value>> Table::ColumnValues(const std::string& column) const {
+  PIYE_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) out.push_back(r[col]);
+  return out;
+}
+
+Result<std::vector<double>> Table::NumericColumn(const std::string& column) const {
+  PIYE_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) {
+    if (r[col].is_null()) continue;
+    if (!r[col].is_numeric()) {
+      return Status::InvalidArgument("column '" + column + "' is not numeric");
+    }
+    out.push_back(r[col].AsDouble());
+  }
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  // Compute column widths over header + shown rows.
+  const size_t shown = std::min(max_rows, rows_.size());
+  std::vector<size_t> widths(schema_.num_columns());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    widths[c] = schema_.column(c).name.size();
+  }
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(schema_.num_columns());
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      cells[r][c] = rows_[r][c].ToDisplayString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  auto pad = [&](const std::string& s, size_t w) {
+    out += s;
+    out.append(w - s.size() + 2, ' ');
+  };
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    pad(schema_.column(c).name, widths[c]);
+  }
+  out += '\n';
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < schema_.num_columns(); ++c) pad(cells[r][c], widths[c]);
+    out += '\n';
+  }
+  if (shown < rows_.size()) {
+    out += strings::Format("... (%zu more rows)\n", rows_.size() - shown);
+  }
+  return out;
+}
+
+}  // namespace relational
+}  // namespace piye

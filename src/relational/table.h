@@ -1,0 +1,57 @@
+#ifndef PIYE_RELATIONAL_TABLE_H_
+#define PIYE_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace piye {
+namespace relational {
+
+/// A row of values, positionally aligned with a Schema.
+using Row = std::vector<Value>;
+
+/// An in-memory table: a schema plus rows. This is the storage unit of the
+/// remote-source databases and of intermediate query results.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema& mutable_schema() { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+
+  /// Appends a row after arity and (non-NULL) type checking.
+  Status AppendRow(Row row);
+  /// Appends without validation (hot paths that construct rows themselves).
+  void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Value at (row, named column).
+  Result<Value> At(size_t row_idx, const std::string& column) const;
+
+  /// Entire column as a vector of values.
+  Result<std::vector<Value>> ColumnValues(const std::string& column) const;
+  /// Numeric column as doubles (NULLs skipped).
+  Result<std::vector<double>> NumericColumn(const std::string& column) const;
+
+  /// Pretty-printed table (header + rows), for examples and benchmarks.
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace relational
+}  // namespace piye
+
+#endif  // PIYE_RELATIONAL_TABLE_H_

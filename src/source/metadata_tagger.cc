@@ -1,0 +1,58 @@
+#include "source/metadata_tagger.h"
+
+#include <cstdlib>
+
+#include "source/loss_computation.h"
+
+#include "common/strings.h"
+
+namespace piye {
+namespace source {
+
+void MetadataTagger::Tag(
+    xml::XmlNode* result, const std::string& source_owner, const PiqlQuery& query,
+    const std::map<std::string, policy::DisclosureForm>& column_forms,
+    const std::map<std::string, double>& column_budgets,
+    const LossEstimate& losses, double loss_budget) {
+  result->SetAttr("owner", source_owner);
+  result->SetAttr("purpose", query.purpose);
+  result->SetAttr("requester", query.requester);
+  result->SetAttr("privacyLoss", strings::Format("%g", losses.privacy_loss));
+  result->SetAttr("informationLoss", strings::Format("%g", losses.information_loss));
+  result->SetAttr("lossBudget", strings::Format("%g", loss_budget));
+  xml::XmlNode* schema = result->FirstChild("schema");
+  if (schema == nullptr) return;
+  for (auto& child : schema->mutable_children()) {
+    if (!child->is_element() || child->name() != "column") continue;
+    const std::string* name = child->GetAttr("name");
+    if (name == nullptr) continue;
+    auto it = column_forms.find(*name);
+    if (it != column_forms.end()) {
+      child->SetAttr("form", policy::DisclosureFormToString(it->second));
+      child->SetAttr("loss",
+                     strings::Format("%g", LossComputation::FormWeight(it->second)));
+    }
+    auto budget = column_budgets.find(*name);
+    if (budget != column_budgets.end()) {
+      child->SetAttr("budget", strings::Format("%g", budget->second));
+    }
+  }
+}
+
+double MetadataTagger::ReadPrivacyLoss(const xml::XmlNode& result) {
+  const std::string* v = result.GetAttr("privacyLoss");
+  return v == nullptr ? 0.0 : std::strtod(v->c_str(), nullptr);
+}
+
+double MetadataTagger::ReadLossBudget(const xml::XmlNode& result) {
+  const std::string* v = result.GetAttr("lossBudget");
+  return v == nullptr ? 1.0 : std::strtod(v->c_str(), nullptr);
+}
+
+std::string MetadataTagger::ReadOwner(const xml::XmlNode& result) {
+  const std::string* v = result.GetAttr("owner");
+  return v == nullptr ? "" : *v;
+}
+
+}  // namespace source
+}  // namespace piye

@@ -1,0 +1,43 @@
+#ifndef PIYE_SOURCE_METADATA_TAGGER_H_
+#define PIYE_SOURCE_METADATA_TAGGER_H_
+
+#include <map>
+#include <string>
+
+#include "policy/policy.h"
+#include "source/loss_computation.h"
+#include "source/piql.h"
+#include "xml/node.h"
+
+namespace piye {
+namespace source {
+
+/// The Metadata Tagger of Figure 2(a): annotates an outgoing XML result with
+/// the privacy metadata the mediation engine needs to re-verify the
+/// integrated results — source owner, purpose served, per-column disclosure
+/// forms, the estimated privacy loss, and the policy budget it was released
+/// under.
+class MetadataTagger {
+ public:
+  /// Mutates `result` (a <result> element from relational::TableToXml):
+  /// sets privacy attributes on the root and `form`/`loss`/`budget`
+  /// attributes on each <column> of its <schema>, so the mediator's privacy
+  /// control can account per data item.
+  static void Tag(xml::XmlNode* result, const std::string& source_owner,
+                  const PiqlQuery& query,
+                  const std::map<std::string, policy::DisclosureForm>& column_forms,
+                  const std::map<std::string, double>& column_budgets,
+                  const LossEstimate& losses, double loss_budget);
+
+  /// Reads back the privacy loss recorded on a tagged result (0 if absent).
+  static double ReadPrivacyLoss(const xml::XmlNode& result);
+  /// Reads back the loss budget recorded on a tagged result (1 if absent).
+  static double ReadLossBudget(const xml::XmlNode& result);
+  /// Reads back the source owner ("" if absent).
+  static std::string ReadOwner(const xml::XmlNode& result);
+};
+
+}  // namespace source
+}  // namespace piye
+
+#endif  // PIYE_SOURCE_METADATA_TAGGER_H_

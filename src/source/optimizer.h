@@ -1,0 +1,53 @@
+#ifndef PIYE_SOURCE_OPTIMIZER_H_
+#define PIYE_SOURCE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/executor.h"
+#include "relational/sql.h"
+
+namespace piye {
+namespace source {
+
+/// The Privacy-conscious Query Optimization module of Figure 2(a): decides
+/// where the privacy work goes in the plan. The two strategic choices the
+/// paper motivates are modeled explicitly:
+///
+///  1. *rewrite-then-execute* vs *execute-then-filter*: push the policy
+///     predicate into the scan so downstream operators (privacy checks,
+///     perturbation) run on fewer rows — "by preprocessing the query we
+///     shall be able to reduce the cost of execution as it will operate on a
+///     smaller set of data";
+///  2. *perturb-after-aggregate* vs *perturb-before-aggregate*: output
+///     perturbation touches one row per group instead of every input row.
+class PrivacyOptimizer {
+ public:
+  struct Plan {
+    bool push_policy_filter = true;     ///< choice 1
+    bool perturb_after_aggregate = true;  ///< choice 2
+    double estimated_policy_selectivity = 1.0;
+    double estimated_cost = 0.0;  ///< abstract row-touch units
+    std::vector<std::string> steps;  ///< human-readable pipeline description
+  };
+
+  /// `policy_predicate` is the conjunction the rewriter injected (may be
+  /// null). Selectivity is estimated on a row sample of the base table.
+  static Result<Plan> Choose(const relational::SelectStatement& stmt,
+                             const relational::Table& base_table,
+                             const relational::ExprPtr& policy_predicate,
+                             size_t sample_size = 256);
+
+  /// Cost (row touches) of the plan shape, exposed for the abl-optimizer
+  /// bench: filtering costs n; per-row privacy work costs `privacy_cost` per
+  /// surviving row (or per input row if not pushed down).
+  static double EstimateCost(size_t base_rows, double selectivity,
+                             bool push_policy_filter, bool is_aggregate,
+                             bool perturb_after_aggregate, size_t num_groups);
+};
+
+}  // namespace source
+}  // namespace piye
+
+#endif  // PIYE_SOURCE_OPTIMIZER_H_

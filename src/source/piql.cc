@@ -1,0 +1,101 @@
+#include "source/piql.h"
+
+#include <set>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "xml/parser.h"
+
+namespace piye {
+namespace source {
+
+namespace {
+
+Result<relational::AggFunc> ParseAggFunc(const std::string& s) {
+  const std::string t = strings::ToLower(strings::Trim(s));
+  if (t == "count") return relational::AggFunc::kCount;
+  if (t == "sum") return relational::AggFunc::kSum;
+  if (t == "avg") return relational::AggFunc::kAvg;
+  if (t == "min") return relational::AggFunc::kMin;
+  if (t == "max") return relational::AggFunc::kMax;
+  if (t == "stddev") return relational::AggFunc::kStdDev;
+  return Status::ParseError("unknown aggregate function '" + s + "'");
+}
+
+}  // namespace
+
+Result<PiqlQuery> PiqlQuery::FromXml(const xml::XmlNode& node) {
+  if (node.name() != "query") {
+    return Status::ParseError("expected <query>, got <" + node.name() + ">");
+  }
+  PiqlQuery q;
+  if (const std::string* r = node.GetAttr("requester")) q.requester = *r;
+  if (const std::string* p = node.GetAttr("purpose")) q.purpose = *p;
+  if (const std::string* l = node.GetAttr("maxLoss")) {
+    q.max_information_loss = std::strtod(l->c_str(), nullptr);
+  }
+  if (const xml::XmlNode* target = node.FirstChild("target")) {
+    if (const std::string* path = target->GetAttr("path")) q.target_path = *path;
+  }
+  for (const xml::XmlNode* sel : node.Children("select")) {
+    q.select.push_back(strings::Trim(sel->InnerText()));
+  }
+  if (const xml::XmlNode* where = node.FirstChild("where")) {
+    PIYE_ASSIGN_OR_RETURN(q.where, relational::ParseExpression(where->InnerText()));
+  }
+  if (const xml::XmlNode* agg = node.FirstChild("aggregate")) {
+    PiqlAggregate spec;
+    const std::string* func = agg->GetAttr("func");
+    const std::string* attr = agg->GetAttr("attribute");
+    if (func == nullptr || attr == nullptr) {
+      return Status::ParseError("<aggregate> needs func and attribute");
+    }
+    PIYE_ASSIGN_OR_RETURN(spec.func, ParseAggFunc(*func));
+    spec.attribute = *attr;
+    for (const xml::XmlNode* g : agg->Children("groupBy")) {
+      spec.group_by.push_back(strings::Trim(g->InnerText()));
+    }
+    q.aggregate = std::move(spec);
+  }
+  return q;
+}
+
+Result<PiqlQuery> PiqlQuery::Parse(std::string_view xml_text) {
+  PIYE_ASSIGN_OR_RETURN(xml::XmlDocument doc, xml::Parse(xml_text));
+  return FromXml(doc.root());
+}
+
+std::unique_ptr<xml::XmlNode> PiqlQuery::ToXml() const {
+  auto node = xml::XmlNode::Element("query");
+  node->SetAttr("requester", requester);
+  node->SetAttr("purpose", purpose);
+  node->SetAttr("maxLoss", strings::Format("%g", max_information_loss));
+  xml::XmlNode* target = node->AddElement("target");
+  target->SetAttr("path", target_path);
+  for (const auto& s : select) node->AddElementWithText("select", s);
+  if (where != nullptr) node->AddElementWithText("where", where->ToString());
+  if (aggregate.has_value()) {
+    xml::XmlNode* agg = node->AddElement("aggregate");
+    agg->SetAttr("func", relational::AggFuncToString(aggregate->func));
+    agg->SetAttr("attribute", aggregate->attribute);
+    for (const auto& g : aggregate->group_by) agg->AddElementWithText("groupBy", g);
+  }
+  return node;
+}
+
+std::vector<std::string> PiqlQuery::ReferencedAttributes() const {
+  std::set<std::string> names(select.begin(), select.end());
+  if (where != nullptr) {
+    std::set<std::string> cols;
+    where->CollectColumns(&cols);
+    names.insert(cols.begin(), cols.end());
+  }
+  if (aggregate.has_value()) {
+    if (!aggregate->attribute.empty()) names.insert(aggregate->attribute);
+    names.insert(aggregate->group_by.begin(), aggregate->group_by.end());
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+}  // namespace source
+}  // namespace piye

@@ -1,0 +1,69 @@
+#ifndef PIYE_SOURCE_PIQL_H_
+#define PIYE_SOURCE_PIQL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/sql.h"
+#include "xml/node.h"
+
+namespace piye {
+namespace source {
+
+/// Aggregate request inside a PIQL query.
+struct PiqlAggregate {
+  relational::AggFunc func = relational::AggFunc::kAvg;
+  std::string attribute;               ///< mediated attribute name (loose)
+  std::vector<std::string> group_by;   ///< mediated attribute names
+};
+
+/// PIQL — the Privacy-conscious Query Language of Section 5.
+///
+/// A requester formulates queries against the *mediated* schema, which may
+/// be partial, so attribute names are matched loosely downstream (e.g.
+/// `dateOfBirth` reaches a source column named `dob`). Beyond the relational
+/// content, a PIQL query carries the requester's identity, the stated
+/// purpose, and the maximum information loss the requester will accept in
+/// the integrated result — the three privacy-specific inputs the paper adds
+/// to query formulation.
+///
+/// XML form:
+///   <query requester="cdc" purpose="disease-surveillance" maxLoss="0.4">
+///     <target path="//patient"/>
+///     <select>dateOfBirth</select>
+///     <select>diagnosis</select>
+///     <where>diagnosis = 'diabetes'</where>              (optional; being XML
+///         text, comparison operators use entities: age &lt; 40)
+///     <aggregate func="AVG" attribute="complianceRate">  (optional)
+///       <groupBy>hmo</groupBy>
+///     </aggregate>
+///   </query>
+struct PiqlQuery {
+  std::string requester;
+  std::string purpose = "any";
+  double max_information_loss = 1.0;
+  std::string target_path = "//record";
+  std::vector<std::string> select;
+  relational::ExprPtr where;  ///< over mediated attribute names; may be null
+  std::optional<PiqlAggregate> aggregate;
+
+  /// Parses the XML form above. `target_path` is informational metadata for
+  /// hierarchical sources (the record path the requester believes it is
+  /// addressing); resolution happens through the mediated schema.
+  static Result<PiqlQuery> Parse(std::string_view xml_text);
+  static Result<PiqlQuery> FromXml(const xml::XmlNode& node);
+  std::unique_ptr<xml::XmlNode> ToXml() const;
+
+  /// All attribute names the query touches (select + where + aggregate).
+  std::vector<std::string> ReferencedAttributes() const;
+
+  bool IsAggregate() const { return aggregate.has_value(); }
+};
+
+}  // namespace source
+}  // namespace piye
+
+#endif  // PIYE_SOURCE_PIQL_H_

@@ -1,0 +1,269 @@
+#include "source/preservation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "perturb/noise.h"
+
+namespace piye {
+namespace source {
+
+using policy::DisclosureForm;
+
+const char* BreachClassToString(BreachClass breach) {
+  switch (breach) {
+    case BreachClass::kNone:
+      return "none";
+    case BreachClass::kIdentityDisclosure:
+      return "identity-disclosure";
+    case BreachClass::kAttributeDisclosure:
+      return "attribute-disclosure";
+    case BreachClass::kAggregateInference:
+      return "aggregate-inference";
+    case BreachClass::kLinkageAttack:
+      return "linkage-attack";
+  }
+  return "?";
+}
+
+const char* TechniqueToString(Technique technique) {
+  switch (technique) {
+    case Technique::kNone:
+      return "none";
+    case Technique::kSuppression:
+      return "suppression";
+    case Technique::kGeneralization:
+      return "generalization";
+    case Technique::kKAnonymity:
+      return "k-anonymity";
+    case Technique::kNoiseAddition:
+      return "noise-addition";
+    case Technique::kRounding:
+      return "rounding";
+    case Technique::kQuerySetRestriction:
+      return "query-set-restriction";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsNumericColumn(const relational::Schema& schema, size_t i) {
+  return schema.column(i).type == relational::ColumnType::kInt64 ||
+         schema.column(i).type == relational::ColumnType::kDouble;
+}
+
+}  // namespace
+
+Status PreservationModule::ApplyGeneralization(
+    relational::Table* table,
+    const std::map<std::string, policy::DisclosureForm>& column_forms) const {
+  // Coarsen every kRange/kGeneralized column: numeric columns become
+  // `generalization_buckets` equi-width ranges, strings become
+  // `string_prefix`-character prefixes ("1974-02-06" → "197*"). The table's
+  // schema changes coarsened numeric columns to STRING.
+  relational::Schema new_schema;
+  std::vector<bool> generalize(table->schema().num_columns(), false);
+  std::vector<bool> string_generalize(table->schema().num_columns(), false);
+  std::vector<double> lo(table->schema().num_columns(), 0.0);
+  std::vector<double> width(table->schema().num_columns(), 0.0);
+  for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+    const auto& col = table->schema().column(c);
+    auto it = column_forms.find(col.name);
+    const bool wants_coarsening = it != column_forms.end() &&
+                                  (it->second == DisclosureForm::kRange ||
+                                   it->second == DisclosureForm::kGeneralized);
+    if (wants_coarsening && col.type == relational::ColumnType::kString) {
+      string_generalize[c] = true;
+      new_schema.AddColumn(col);
+      continue;
+    }
+    const bool coarsen = wants_coarsening && IsNumericColumn(table->schema(), c);
+    generalize[c] = coarsen;
+    if (coarsen) {
+      double mn = 0.0, mx = 0.0;
+      bool first = true;
+      for (const auto& row : table->rows()) {
+        if (row[c].is_null()) continue;
+        const double x = row[c].AsDouble();
+        if (first) {
+          mn = mx = x;
+          first = false;
+        } else {
+          mn = std::min(mn, x);
+          mx = std::max(mx, x);
+        }
+      }
+      lo[c] = mn;
+      width[c] = (mx - mn) / static_cast<double>(config_.generalization_buckets);
+      if (width[c] <= 0.0) width[c] = 1.0;
+      new_schema.AddColumn({col.name, relational::ColumnType::kString});
+    } else {
+      new_schema.AddColumn(col);
+    }
+  }
+  relational::Table out(new_schema);
+  for (const auto& row : table->rows()) {
+    relational::Row r = row;
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (r[c].is_null()) continue;
+      if (string_generalize[c]) {
+        std::string s = r[c].AsString();
+        if (s.size() > config_.string_prefix) {
+          s = s.substr(0, config_.string_prefix) + "*";
+        }
+        r[c] = relational::Value::Str(std::move(s));
+        continue;
+      }
+      if (!generalize[c]) continue;
+      const double x = r[c].AsDouble();
+      double bucket = std::floor((x - lo[c]) / width[c]);
+      bucket = std::clamp(bucket, 0.0,
+                          static_cast<double>(config_.generalization_buckets - 1));
+      const double b_lo = lo[c] + bucket * width[c];
+      r[c] = relational::Value::Str(
+          strings::Format("[%g,%g)", b_lo, b_lo + width[c]));
+    }
+    out.AppendRowUnchecked(std::move(r));
+  }
+  *table = std::move(out);
+  return Status::OK();
+}
+
+Status PreservationModule::ApplySuppression(
+    relational::Table* table,
+    const std::map<std::string, policy::DisclosureForm>& column_forms) const {
+  // k-anonymity-style suppression over the *coarsened* columns (the
+  // quasi-identifiers): rows whose generalized QI combination occurs fewer
+  // than k times are dropped. Without any coarsened column there is no QI to
+  // protect and suppression is a no-op.
+  std::vector<size_t> qi;
+  for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+    auto it = column_forms.find(table->schema().column(c).name);
+    if (it != column_forms.end() && (it->second == DisclosureForm::kRange ||
+                                     it->second == DisclosureForm::kGeneralized)) {
+      qi.push_back(c);
+    }
+  }
+  if (qi.empty()) return Status::OK();
+  std::map<std::string, size_t> counts;
+  std::vector<std::string> keys;
+  keys.reserve(table->num_rows());
+  for (const auto& row : table->rows()) {
+    std::string key;
+    for (size_t c : qi) {
+      key += row[c].ToDisplayString();
+      key += '\x1f';
+    }
+    ++counts[key];
+    keys.push_back(std::move(key));
+  }
+  relational::Table out(table->schema());
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    if (counts[keys[r]] >= config_.k) out.AppendRowUnchecked(table->row(r));
+  }
+  *table = std::move(out);
+  return Status::OK();
+}
+
+Status PreservationModule::ApplyRounding(
+    relational::Table* table,
+    const std::map<std::string, policy::DisclosureForm>& forms,
+    double loss_budget) const {
+  // Precision grows as the budget shrinks: budget 1 → min precision,
+  // budget 0 → precision 10.
+  const double budget = std::clamp(loss_budget, 0.0, 1.0);
+  const double precision =
+      config_.min_aggregate_precision * std::pow(100.0, 1.0 - budget);
+  for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+    auto it = forms.find(table->schema().column(c).name);
+    if (it == forms.end() || it->second != DisclosureForm::kAggregate) continue;
+    if (!IsNumericColumn(table->schema(), c)) continue;
+    for (auto& row : table->mutable_rows()) {
+      if (row[c].is_null()) continue;
+      const double x =
+          perturb::OutputPerturbation::Round(row[c].AsDouble(), precision);
+      row[c] = table->schema().column(c).type == relational::ColumnType::kInt64
+                   ? relational::Value::Int(static_cast<int64_t>(std::llround(x)))
+                   : relational::Value::Real(x);
+    }
+  }
+  return Status::OK();
+}
+
+Status PreservationModule::ApplyNoise(
+    relational::Table* table,
+    const std::map<std::string, policy::DisclosureForm>& forms, double loss_budget,
+    Rng* rng) const {
+  const double budget = std::clamp(loss_budget, 0.0, 1.0);
+  const double scale = config_.laplace_scale_at_zero_budget * (1.0 - budget);
+  if (scale <= 0.0) return Status::OK();
+  for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+    auto it = forms.find(table->schema().column(c).name);
+    if (it == forms.end() || it->second != DisclosureForm::kAggregate) continue;
+    if (!IsNumericColumn(table->schema(), c)) continue;
+    for (auto& row : table->mutable_rows()) {
+      if (row[c].is_null()) continue;
+      const double x =
+          perturb::OutputPerturbation::LaplaceNoise(row[c].AsDouble(), scale, rng);
+      row[c] = table->schema().column(c).type == relational::ColumnType::kInt64
+                   ? relational::Value::Int(static_cast<int64_t>(std::llround(x)))
+                   : relational::Value::Real(x);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Technique> PreservationModule::DefaultTechniques(
+    const std::map<std::string, policy::DisclosureForm>& column_forms,
+    double loss_budget) const {
+  std::vector<Technique> out;
+  bool any_coarsen = false, any_aggregate = false, any_row_level = false;
+  for (const auto& [_, form] : column_forms) {
+    if (form == DisclosureForm::kRange || form == DisclosureForm::kGeneralized) {
+      any_coarsen = true;
+    }
+    if (form == DisclosureForm::kAggregate) any_aggregate = true;
+    if (form == DisclosureForm::kExact) any_row_level = true;
+  }
+  if (any_coarsen) {
+    out.push_back(Technique::kGeneralization);
+    out.push_back(Technique::kSuppression);
+  }
+  if (any_aggregate && loss_budget < 1.0) out.push_back(Technique::kRounding);
+  if (any_aggregate && loss_budget < 0.25) out.push_back(Technique::kNoiseAddition);
+  if (out.empty() && any_row_level) out.push_back(Technique::kNone);
+  return out;
+}
+
+Result<relational::Table> PreservationModule::Apply(
+    relational::Table result,
+    const std::map<std::string, policy::DisclosureForm>& column_forms,
+    double loss_budget, const std::vector<Technique>& techniques, Rng* rng) const {
+  for (Technique t : techniques) {
+    switch (t) {
+      case Technique::kNone:
+      case Technique::kQuerySetRestriction:  // enforced pre-execution
+        break;
+      case Technique::kGeneralization:
+      case Technique::kKAnonymity:
+        PIYE_RETURN_NOT_OK(ApplyGeneralization(&result, column_forms));
+        break;
+      case Technique::kSuppression:
+        PIYE_RETURN_NOT_OK(ApplySuppression(&result, column_forms));
+        break;
+      case Technique::kRounding:
+        PIYE_RETURN_NOT_OK(ApplyRounding(&result, column_forms, loss_budget));
+        break;
+      case Technique::kNoiseAddition:
+        PIYE_RETURN_NOT_OK(ApplyNoise(&result, column_forms, loss_budget, rng));
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace source
+}  // namespace piye

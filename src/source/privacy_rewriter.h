@@ -1,0 +1,68 @@
+#ifndef PIYE_SOURCE_PRIVACY_REWRITER_H_
+#define PIYE_SOURCE_PRIVACY_REWRITER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "access/rbac.h"
+#include "common/result.h"
+#include "policy/policy_store.h"
+#include "relational/sql.h"
+#include "source/piql.h"
+
+namespace piye {
+namespace source {
+
+/// The Query Rewriter of Figure 2(a). Given the transformed SQL and the
+/// requester's identity/purpose, it consults the access rules (RBAC) and the
+/// privacy policies/preferences and produces a query that "will only
+/// retrieve the information that can be accessed by the requester as well as
+/// preserves the privacy of the data":
+///
+///  - columns failing RBAC or with an effective disclosure of kDenied are
+///    *removed* from the select list (recorded in `denied_columns`);
+///  - kAggregate columns may appear only inside aggregate functions; a
+///    row-level select of them is denied;
+///  - the policies' row conditions are ANDed into the WHERE clause
+///    (rewrite-then-execute — the cheaper alternative the paper argues for);
+///  - the smallest max-privacy-loss budget across applied rules becomes the
+///    disclosure budget the preservation module must respect.
+class PrivacyRewriter {
+ public:
+  struct Rewritten {
+    relational::SelectStatement stmt;
+    /// Effective disclosure form per surviving output column.
+    std::map<std::string, policy::DisclosureForm> column_forms;
+    /// Policy loss budget per surviving output column (1.0 = unconstrained).
+    std::map<std::string, double> column_budgets;
+    /// Columns stripped by RBAC or policy.
+    std::vector<std::string> denied_columns;
+    /// Tightest policy loss budget across the surviving columns.
+    double loss_budget = 1.0;
+  };
+
+  PrivacyRewriter(const policy::PolicyStore* policies, const access::RbacDatabase* rbac,
+                  std::string source_owner)
+      : policies_(policies), rbac_(rbac), owner_(std::move(source_owner)) {}
+
+  /// Rewrites `stmt`. Fails with kPrivacyViolation when nothing at all may
+  /// be disclosed (every column denied), and with kPermissionDenied when the
+  /// WHERE clause itself touches a denied column (filtering on a secret
+  /// leaks it through the result's row set).
+  Result<Rewritten> Rewrite(const relational::SelectStatement& stmt,
+                            const PiqlQuery& query) const;
+
+ private:
+  policy::Disclosure EffectiveFor(const std::string& column,
+                                  const PiqlQuery& query) const;
+
+  const policy::PolicyStore* policies_;
+  const access::RbacDatabase* rbac_;
+  std::string owner_;
+};
+
+}  // namespace source
+}  // namespace piye
+
+#endif  // PIYE_SOURCE_PRIVACY_REWRITER_H_

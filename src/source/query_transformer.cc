@@ -1,0 +1,120 @@
+#include "source/query_transformer.h"
+
+#include <cctype>
+
+#include "common/macros.h"
+
+namespace piye {
+namespace source {
+
+using relational::Expression;
+using relational::ExprPtr;
+
+Result<ExprPtr> RewriteColumns(const ExprPtr& expr,
+                               const std::map<std::string, std::string>& bindings) {
+  if (expr == nullptr) return ExprPtr(nullptr);
+  switch (expr->op()) {
+    case Expression::Op::kLiteral:
+      return expr;
+    case Expression::Op::kColumn: {
+      auto it = bindings.find(expr->column());
+      if (it == bindings.end()) {
+        return Status::NotFound("unbound attribute '" + expr->column() + "'");
+      }
+      if (it->second == expr->column()) return expr;
+      return Expression::ColumnRef(it->second);
+    }
+    case Expression::Op::kNot: {
+      PIYE_ASSIGN_OR_RETURN(ExprPtr operand, RewriteColumns(expr->lhs(), bindings));
+      return Expression::Not(operand);
+    }
+    case Expression::Op::kIn: {
+      PIYE_ASSIGN_OR_RETURN(ExprPtr lhs, RewriteColumns(expr->lhs(), bindings));
+      return Expression::In(lhs, expr->in_values());
+    }
+    default: {
+      PIYE_ASSIGN_OR_RETURN(ExprPtr lhs, RewriteColumns(expr->lhs(), bindings));
+      PIYE_ASSIGN_OR_RETURN(ExprPtr rhs, RewriteColumns(expr->rhs(), bindings));
+      return Expression::Binary(expr->op(), lhs, rhs);
+    }
+  }
+}
+
+Result<std::string> QueryTransformer::ResolveAttribute(
+    const std::string& attribute, const relational::Schema& schema) const {
+  std::string best;
+  double best_score = threshold_;
+  for (const auto& col : schema.columns()) {
+    const double s = matcher_.NameSimilarity(attribute, col.name);
+    if (s >= best_score) {
+      best_score = s;
+      best = col.name;
+    }
+  }
+  if (best.empty()) {
+    return Status::NotFound("no column of [" + schema.ToString() +
+                            "] matches attribute '" + attribute + "'");
+  }
+  return best;
+}
+
+Result<QueryTransformer::Transformed> QueryTransformer::Transform(
+    const PiqlQuery& query, const std::string& table_name,
+    const relational::Schema& schema) const {
+  Transformed out;
+  out.stmt.table = table_name;
+
+  // Resolve every referenced attribute once.
+  for (const auto& attr : query.ReferencedAttributes()) {
+    auto col = ResolveAttribute(attr, schema);
+    if (col.ok()) {
+      out.bindings[attr] = *col;
+    } else {
+      out.unresolved.push_back(attr);
+    }
+  }
+  // WHERE must be fully resolvable — a weakened predicate over-discloses.
+  if (query.where != nullptr) {
+    PIYE_ASSIGN_OR_RETURN(out.stmt.where, RewriteColumns(query.where, out.bindings));
+  }
+  if (query.aggregate.has_value()) {
+    const PiqlAggregate& agg = *query.aggregate;
+    std::string agg_col;
+    if (!agg.attribute.empty()) {
+      auto it = out.bindings.find(agg.attribute);
+      if (it == out.bindings.end()) {
+        return Status::NotFound("aggregate attribute '" + agg.attribute +
+                                "' not resolvable at this source");
+      }
+      agg_col = it->second;
+    }
+    for (const auto& g : agg.group_by) {
+      auto it = out.bindings.find(g);
+      if (it == out.bindings.end()) {
+        return Status::NotFound("group-by attribute '" + g +
+                                "' not resolvable at this source");
+      }
+      out.stmt.group_by.push_back(it->second);
+      // Alias back to the mediated attribute name so results from different
+      // sources align column-wise at the integrator.
+      out.stmt.items.push_back(relational::SelectItem::Col(it->second, g));
+    }
+    std::string agg_alias = relational::AggFuncToString(agg.func);
+    for (char& c : agg_alias) c = static_cast<char>(std::tolower(c));
+    agg_alias += "_" + (agg.attribute.empty() ? std::string("all") : agg.attribute);
+    out.stmt.items.push_back(relational::SelectItem::Agg(agg.func, agg_col, agg_alias));
+  } else {
+    for (const auto& attr : query.select) {
+      auto it = out.bindings.find(attr);
+      if (it == out.bindings.end()) continue;  // tolerated: partial select
+      out.stmt.items.push_back(relational::SelectItem::Col(it->second, attr));
+    }
+    if (out.stmt.items.empty()) {
+      return Status::NotFound("no selected attribute is resolvable at this source");
+    }
+  }
+  return out;
+}
+
+}  // namespace source
+}  // namespace piye

@@ -1,0 +1,125 @@
+#ifndef PIYE_SOURCE_REMOTE_SOURCE_H_
+#define PIYE_SOURCE_REMOTE_SOURCE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "access/rbac.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "match/schema_matcher.h"
+#include "policy/policy_store.h"
+#include "relational/executor.h"
+#include "source/loss_computation.h"
+#include "source/metadata_tagger.h"
+#include "source/optimizer.h"
+#include "source/piql.h"
+#include "source/preservation.h"
+#include "source/privacy_rewriter.h"
+#include "source/query_cluster.h"
+#include "source/query_transformer.h"
+#include "xml/loose_path.h"
+
+namespace piye {
+namespace source {
+
+/// A remote source running the complete privacy-preserving query processing
+/// framework of Figure 2(a). The mediation engine talks to it exclusively
+/// through `ExecuteFragment` (XML query in, tagged XML result out) and
+/// `ExportSketches` (privacy-respecting schema summaries for mediated-schema
+/// generation) — it never sees the raw tables.
+class RemoteSource {
+ public:
+  /// `owner` names the organization (policy key); `seed` drives the
+  /// perturbation RNG deterministically.
+  RemoteSource(std::string owner, std::string table_name, relational::Table data,
+               uint64_t seed = 0);
+
+  /// Builds a source from a hierarchical store: record-shaped XML text is
+  /// ingested through relational::TableFromXmlRecords (schema and types
+  /// inferred), so XML-native organizations plug into the same pipeline.
+  static Result<std::unique_ptr<RemoteSource>> FromXmlRecords(
+      const std::string& owner, const std::string& table_name,
+      std::string_view xml_text, uint64_t seed = 0);
+
+  const std::string& owner() const { return owner_; }
+  const std::string& table_name() const { return table_name_; }
+  const relational::Schema& schema() const;
+  size_t num_rows() const;
+
+  /// Mutable configuration (populated during deployment).
+  policy::PolicyStore* mutable_policies() { return &policies_; }
+  const policy::PolicyStore& policies() const { return policies_; }
+  access::RbacDatabase* mutable_rbac() { return &rbac_; }
+  void set_cluster_store(ClusterStore store) { clusters_ = std::move(store); }
+  void set_preservation_config(PreservationModule::Config config) {
+    preservation_ = PreservationModule(config);
+  }
+  void set_name_matcher(xml::LooseNameMatcher matcher);
+
+  /// Marks a column whose *name* is itself sensitive: it still participates
+  /// in mediated-schema generation (via instance sketches) but is exported
+  /// under a salted hash tag, so the mediated schema stays partial
+  /// (Section 5: "the schemas of some sources may not be available freely").
+  void HideSchemaColumn(const std::string& column) {
+    hidden_schema_columns_.insert(column);
+  }
+
+  /// Everything `ExecuteFragment` reports back besides the XML payload —
+  /// per-stage diagnostics used by the Fig. 2 pipeline benchmark.
+  struct FragmentResult {
+    std::unique_ptr<xml::XmlNode> xml;  ///< tagged <result> element
+    relational::Table table;            ///< the released rows, pre-serialization
+    PrivacyOptimizer::Plan plan;
+    BreachClass breach = BreachClass::kNone;
+    std::vector<Technique> techniques;
+    LossEstimate losses;
+    std::vector<std::string> denied_columns;
+    double loss_budget = 1.0;
+  };
+
+  /// Runs the full pipeline: privacy view → transform → rewrite →
+  /// cluster-match → loss → optimize → (query-set restriction) → execute →
+  /// preserve → serialize → tag.
+  Result<FragmentResult> ExecuteFragment(const PiqlQuery& fragment);
+
+  /// The table the pipeline actually sees: the raw table filtered through
+  /// every privacy view registered for it (the Section 3 privacy-view
+  /// language — rows and columns outside the views simply do not exist for
+  /// the outside world). Returns the raw table when no view is registered.
+  Result<relational::Table> EffectiveTable() const;
+
+  /// Column sketches for mediated-schema generation, respecting policy: a
+  /// denied column is not exported at all; a column disclosed only in
+  /// coarsened form is exported with a hashed (non-public) name.
+  Result<std::vector<match::ColumnSketch>> ExportSketches(
+      const std::string& shared_key) const;
+
+  /// Direct (policy-bypassing) access for tests and for the no-privacy
+  /// baseline integrator in the benchmarks.
+  const relational::Table& raw_table_for_testing() const;
+
+ private:
+  std::string owner_;
+  std::string table_name_;
+  std::set<std::string> hidden_schema_columns_;
+  relational::Catalog catalog_;
+  policy::PolicyStore policies_;
+  access::RbacDatabase rbac_;
+  ClusterStore clusters_;
+  PreservationModule preservation_;
+  QueryTransformer transformer_;
+  Rng rng_;
+  uint64_t rsq_seed_;
+};
+
+/// The default clinical-domain synonym dictionary used by the examples and
+/// tests (sex~gender, dob~birthdate tokens, etc.).
+xml::LooseNameMatcher DefaultClinicalNameMatcher();
+
+}  // namespace source
+}  // namespace piye
+
+#endif  // PIYE_SOURCE_REMOTE_SOURCE_H_

@@ -1,0 +1,84 @@
+#include "statdb/aggregate_query.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace piye {
+namespace statdb {
+
+std::string AggregateQuery::Canonical() const {
+  std::string out = relational::AggFuncToString(func);
+  out += "(";
+  out += column;
+  out += ")|";
+  out += predicate != nullptr ? predicate->ToString() : "TRUE";
+  return out;
+}
+
+Result<std::vector<size_t>> QuerySet(const AggregateQuery& query,
+                                     const relational::Table& data) {
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    if (query.predicate == nullptr) {
+      rows.push_back(i);
+      continue;
+    }
+    PIYE_ASSIGN_OR_RETURN(bool keep,
+                          query.predicate->EvaluatesTrue(data.row(i), data.schema()));
+    if (keep) rows.push_back(i);
+  }
+  return rows;
+}
+
+Result<double> EvaluateAggregate(const AggregateQuery& query,
+                                 const relational::Table& data,
+                                 const std::vector<size_t>& rows) {
+  PIYE_ASSIGN_OR_RETURN(size_t col, data.schema().IndexOf(query.column));
+  double sum = 0.0, sum_sq = 0.0;
+  double mn = 0.0, mx = 0.0;
+  size_t count = 0;
+  for (size_t r : rows) {
+    const relational::Value& v = data.row(r)[col];
+    if (v.is_null()) continue;
+    if (!v.is_numeric()) {
+      return Status::InvalidArgument("column '" + query.column + "' is not numeric");
+    }
+    const double x = v.AsDouble();
+    if (count == 0) {
+      mn = mx = x;
+    } else {
+      mn = std::min(mn, x);
+      mx = std::max(mx, x);
+    }
+    sum += x;
+    sum_sq += x * x;
+    ++count;
+  }
+  switch (query.func) {
+    case relational::AggFunc::kCount:
+      return static_cast<double>(count);
+    case relational::AggFunc::kSum:
+      return sum;
+    case relational::AggFunc::kAvg:
+      if (count == 0) return Status::InvalidArgument("AVG over empty query set");
+      return sum / static_cast<double>(count);
+    case relational::AggFunc::kMin:
+      if (count == 0) return Status::InvalidArgument("MIN over empty query set");
+      return mn;
+    case relational::AggFunc::kMax:
+      if (count == 0) return Status::InvalidArgument("MAX over empty query set");
+      return mx;
+    case relational::AggFunc::kStdDev: {
+      if (count == 0) return Status::InvalidArgument("STDDEV over empty query set");
+      const double n = static_cast<double>(count);
+      const double mean = sum / n;
+      return std::sqrt(std::max(0.0, sum_sq / n - mean * mean));
+    }
+  }
+  return Status::Internal("unhandled aggregate");
+}
+
+}  // namespace statdb
+}  // namespace piye

@@ -1,0 +1,38 @@
+#ifndef PIYE_STATDB_AGGREGATE_QUERY_H_
+#define PIYE_STATDB_AGGREGATE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/sql.h"
+#include "relational/table.h"
+
+namespace piye {
+namespace statdb {
+
+/// A statistical query in the classical statistical-database model: an
+/// aggregate over the *query set* — the rows of a protected table selected
+/// by a characteristic formula.
+struct AggregateQuery {
+  relational::AggFunc func = relational::AggFunc::kSum;
+  std::string column;              ///< aggregated column (numeric)
+  relational::ExprPtr predicate;   ///< characteristic formula (null = all rows)
+
+  /// Canonical text used for audit trails and sampling keys.
+  std::string Canonical() const;
+};
+
+/// Indices of the rows selected by the query's characteristic formula.
+Result<std::vector<size_t>> QuerySet(const AggregateQuery& query,
+                                     const relational::Table& data);
+
+/// Evaluates the aggregate over the given rows of `data`.
+Result<double> EvaluateAggregate(const AggregateQuery& query,
+                                 const relational::Table& data,
+                                 const std::vector<size_t>& rows);
+
+}  // namespace statdb
+}  // namespace piye
+
+#endif  // PIYE_STATDB_AGGREGATE_QUERY_H_

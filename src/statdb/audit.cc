@@ -1,0 +1,89 @@
+#include "statdb/audit.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace piye {
+namespace statdb {
+
+std::vector<double> EchelonBasis::Reduce(std::vector<double> v) const {
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const size_t p = pivots_[r];
+    if (std::fabs(v[p]) < kEps) continue;
+    const double factor = v[p] / rows_[r][p];
+    for (size_t c = 0; c < dimension_; ++c) v[c] -= factor * rows_[r][c];
+  }
+  return v;
+}
+
+bool EchelonBasis::InSpan(const std::vector<double>& v) const {
+  const std::vector<double> residual = Reduce(v);
+  for (double x : residual) {
+    if (std::fabs(x) > kEps) return false;
+  }
+  return true;
+}
+
+bool EchelonBasis::Insert(std::vector<double> v) {
+  std::vector<double> residual = Reduce(std::move(v));
+  size_t pivot = dimension_;
+  double best = kEps;
+  for (size_t c = 0; c < dimension_; ++c) {
+    if (std::fabs(residual[c]) > best) {
+      best = std::fabs(residual[c]);
+      pivot = c;
+    }
+  }
+  if (pivot == dimension_) return false;  // in span
+  rows_.push_back(std::move(residual));
+  pivots_.push_back(pivot);
+  return true;
+}
+
+Result<double> SumAuditor::Answer(const AggregateQuery& query,
+                                  const relational::Table& data) {
+  if (query.func != relational::AggFunc::kSum) {
+    return Status::InvalidArgument("SumAuditor only audits SUM queries");
+  }
+  if (data.num_rows() != basis_.dimension()) {
+    return Status::InvalidArgument("auditor dimension does not match table size");
+  }
+  PIYE_ASSIGN_OR_RETURN(std::vector<size_t> rows, QuerySet(query, data));
+  std::vector<double> vec(basis_.dimension(), 0.0);
+  for (size_t r : rows) vec[r] = 1.0;
+
+  // Simulate inserting the query vector, then test whether any unit vector
+  // becomes spanned.
+  EchelonBasis trial = basis_;
+  trial.Insert(vec);
+  std::vector<double> unit(basis_.dimension(), 0.0);
+  for (size_t i = 0; i < basis_.dimension(); ++i) {
+    unit[i] = 1.0;
+    const bool exposed = trial.InSpan(unit);
+    unit[i] = 0.0;
+    if (exposed) {
+      ++refused_;
+      return Status::PrivacyViolation(strings::Format(
+          "answering would make record %zu determinable", i));
+    }
+  }
+  basis_ = std::move(trial);
+  ++answered_;
+  return EvaluateAggregate(query, data, rows);
+}
+
+std::vector<size_t> SumAuditor::DeterminableRecords() const {
+  std::vector<size_t> out;
+  std::vector<double> unit(basis_.dimension(), 0.0);
+  for (size_t i = 0; i < basis_.dimension(); ++i) {
+    unit[i] = 1.0;
+    if (basis_.InSpan(unit)) out.push_back(i);
+    unit[i] = 0.0;
+  }
+  return out;
+}
+
+}  // namespace statdb
+}  // namespace piye

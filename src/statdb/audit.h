@@ -1,0 +1,70 @@
+#ifndef PIYE_STATDB_AUDIT_H_
+#define PIYE_STATDB_AUDIT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "statdb/aggregate_query.h"
+
+namespace piye {
+namespace statdb {
+
+/// An incremental row-echelon basis over R^n with partial pivoting, used to
+/// decide membership of a vector in the span of previously inserted vectors.
+class EchelonBasis {
+ public:
+  explicit EchelonBasis(size_t dimension) : dimension_(dimension) {}
+
+  size_t dimension() const { return dimension_; }
+  size_t rank() const { return rows_.size(); }
+
+  /// Reduces `v` against the basis; returns the residual.
+  std::vector<double> Reduce(std::vector<double> v) const;
+
+  /// True if `v` lies in the span of the inserted vectors.
+  bool InSpan(const std::vector<double>& v) const;
+
+  /// Inserts `v`; returns false if it was already in the span (no-op).
+  bool Insert(std::vector<double> v);
+
+ private:
+  static constexpr double kEps = 1e-9;
+
+  size_t dimension_;
+  std::vector<std::vector<double>> rows_;  // echelon rows
+  std::vector<size_t> pivots_;             // pivot column per row
+};
+
+/// Chin–Özsoyoğlu audit trail for SUM queries (IEEE TSE 8(6), 1982).
+///
+/// Each answered SUM query contributes a 0/1 row vector over the records of
+/// the protected table. The auditor refuses any query whose answer would
+/// make some individual record's value determinable — i.e. would put a unit
+/// vector e_i into the span of answered query vectors.
+class SumAuditor {
+ public:
+  explicit SumAuditor(size_t num_records) : basis_(num_records) {}
+
+  /// Answers the SUM query or returns kPrivacyViolation when answering
+  /// would expose an individual record exactly. Answered queries are
+  /// appended to the audit trail.
+  Result<double> Answer(const AggregateQuery& query, const relational::Table& data);
+
+  /// Record indices currently determinable from the audit trail (should stay
+  /// empty under the refusal policy; exposed for testing and for the
+  /// sequence-audit benchmark's "no protection" baseline).
+  std::vector<size_t> DeterminableRecords() const;
+
+  size_t queries_answered() const { return answered_; }
+  size_t queries_refused() const { return refused_; }
+
+ private:
+  EchelonBasis basis_;
+  size_t answered_ = 0;
+  size_t refused_ = 0;
+};
+
+}  // namespace statdb
+}  // namespace piye
+
+#endif  // PIYE_STATDB_AUDIT_H_

@@ -1,0 +1,48 @@
+#ifndef PIYE_STATDB_SAMPLING_H_
+#define PIYE_STATDB_SAMPLING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "statdb/aggregate_query.h"
+
+namespace piye {
+namespace statdb {
+
+/// Denning's random sample queries (ACM TODS 5(3), 1980): instead of the
+/// exact query set, the aggregate is computed over a pseudo-random sample of
+/// it. Crucially, a record's inclusion is a deterministic function of the
+/// record's key *and* the query's characteristic formula, so
+///  - re-issuing the same query returns the same answer (no averaging
+///    attack by repetition), while
+///  - logically equivalent-but-differently-phrased formulas sample
+///    differently, denying small-tracker attacks exact control of the
+///    query set.
+class RandomSampleQueries {
+ public:
+  /// `key_column` identifies records stably (e.g. patient id).
+  /// `sampling_rate` is the inclusion probability in (0,1].
+  RandomSampleQueries(std::string key_column, double sampling_rate, uint64_t seed);
+
+  /// Answers the aggregate over the sampled query set. COUNT and SUM are
+  /// rescaled by 1/rate so answers are unbiased estimates of the true value.
+  Result<double> Answer(const AggregateQuery& query,
+                        const relational::Table& data) const;
+
+  /// True if the record with the given key participates in the sample for
+  /// the given query (exposed for tests).
+  bool Includes(const std::string& record_key, const AggregateQuery& query) const;
+
+  double sampling_rate() const { return rate_; }
+
+ private:
+  std::string key_column_;
+  double rate_;
+  uint64_t seed_;
+};
+
+}  // namespace statdb
+}  // namespace piye
+
+#endif  // PIYE_STATDB_SAMPLING_H_

@@ -1,0 +1,71 @@
+#ifndef PIYE_XML_LOOSE_PATH_H_
+#define PIYE_XML_LOOSE_PATH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xml/node.h"
+#include "xml/path.h"
+
+namespace piye {
+namespace xml {
+
+/// Scores similarity between element names for loosely structured queries.
+///
+/// PRIVATE-IYE's mediated schema may omit the nominal identifiers of
+/// sensitive attributes (Section 5, "Design of Privacy-conscious Query
+/// Language"): a requester writing `//patient//dateOfBirth` must still hit a
+/// source element named `dob`. The matcher combines:
+///  - exact (case-insensitive) equality,
+///  - acronym expansion (`dob` vs tokens {date, of, birth}),
+///  - a synonym dictionary (`sex` ~ `gender`),
+///  - token-level edit similarity (Monge–Elkan aggregation).
+class LooseNameMatcher {
+ public:
+  LooseNameMatcher();
+
+  /// Declares a group of mutually synonymous tokens (lower-case).
+  void AddSynonyms(const std::vector<std::string>& group);
+
+  /// Similarity in [0,1]; 1 means certainly the same concept.
+  double NameSimilarity(std::string_view a, std::string_view b) const;
+
+ private:
+  double TokenSimilarity(const std::string& a, const std::string& b) const;
+
+  std::map<std::string, int> synonym_group_;
+  int next_group_ = 0;
+};
+
+/// A path hit with its aggregate confidence (min over step scores).
+struct LooseMatch {
+  const XmlNode* node = nullptr;
+  double score = 0.0;
+};
+
+/// Evaluates a compiled XmlPath with approximate step names.
+///
+/// Semantics match XmlPath::Evaluate except that a step name matches any
+/// element whose name scores >= `threshold` under the LooseNameMatcher.
+/// Predicate attribute/child names remain exact. Results are sorted by
+/// descending score.
+class LoosePathMatcher {
+ public:
+  explicit LoosePathMatcher(LooseNameMatcher matcher, double threshold = 0.7)
+      : matcher_(std::move(matcher)), threshold_(threshold) {}
+
+  std::vector<LooseMatch> Find(const XmlPath& path, const XmlNode& root) const;
+
+  const LooseNameMatcher& matcher() const { return matcher_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  LooseNameMatcher matcher_;
+  double threshold_;
+};
+
+}  // namespace xml
+}  // namespace piye
+
+#endif  // PIYE_XML_LOOSE_PATH_H_

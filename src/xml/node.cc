@@ -1,0 +1,114 @@
+#include "xml/node.h"
+
+namespace piye {
+namespace xml {
+
+void XmlNode::SetAttr(std::string key, std::string value) {
+  for (auto& kv : attrs_) {
+    if (kv.first == key) {
+      kv.second = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+const std::string* XmlNode::GetAttr(std::string_view key) const {
+  for (const auto& kv : attrs_) {
+    if (kv.first == key) return &kv.second;
+  }
+  return nullptr;
+}
+
+void XmlNode::RemoveAttr(std::string_view key) {
+  for (auto it = attrs_.begin(); it != attrs_.end(); ++it) {
+    if (it->first == key) {
+      attrs_.erase(it);
+      return;
+    }
+  }
+}
+
+XmlNode* XmlNode::AddChild(std::unique_ptr<XmlNode> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+XmlNode* XmlNode::AddElement(const std::string& name) {
+  return AddChild(Element(name));
+}
+
+XmlNode* XmlNode::AddElementWithText(const std::string& name,
+                                     const std::string& text) {
+  XmlNode* el = AddElement(name);
+  el->AddText(text);
+  return el;
+}
+
+void XmlNode::AddText(std::string text) { AddChild(Text(std::move(text))); }
+
+void XmlNode::RemoveChild(size_t index) {
+  if (index < children_.size()) {
+    children_.erase(children_.begin() + static_cast<ptrdiff_t>(index));
+  }
+}
+
+const XmlNode* XmlNode::FirstChild(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+XmlNode* XmlNode::FirstChild(std::string_view name) {
+  for (auto& c : children_) {
+    if (c->is_element() && c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::Children(std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::vector<const XmlNode*> XmlNode::ChildElements() const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children_) {
+    if (c->is_element()) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string XmlNode::InnerText() const {
+  if (is_text()) return name_;
+  std::string out;
+  for (const auto& c : children_) out += c->InnerText();
+  return out;
+}
+
+std::string XmlNode::ChildText(std::string_view name) const {
+  const XmlNode* c = FirstChild(name);
+  return c ? c->InnerText() : std::string();
+}
+
+std::unique_ptr<XmlNode> XmlNode::Clone() const {
+  std::unique_ptr<XmlNode> copy(new XmlNode(type_, name_));
+  copy->attrs_ = attrs_;
+  copy->children_.reserve(children_.size());
+  for (const auto& c : children_) copy->children_.push_back(c->Clone());
+  return copy;
+}
+
+size_t XmlNode::CountElements() const {
+  if (!is_element()) return 0;
+  size_t n = 1;
+  for (const auto& c : children_) n += c->CountElements();
+  return n;
+}
+
+}  // namespace xml
+}  // namespace piye

@@ -1,0 +1,265 @@
+#include "xml/parser.h"
+
+#include <cctype>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace piye {
+namespace xml {
+namespace {
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::string_view input) : in_(input) {}
+
+  Result<XmlDocument> Run() {
+    SkipProlog();
+    PIYE_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> root, ParseElement());
+    SkipMisc();
+    if (pos_ != in_.size()) {
+      return Error("trailing content after root element");
+    }
+    return XmlDocument(std::move(root));
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::ParseError(
+        strings::Format("XML parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  bool Eof() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  bool Match(std::string_view lit) {
+    if (in_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  void SkipProlog() {
+    for (;;) {
+      SkipWhitespace();
+      if (Match("<?")) {
+        const size_t end = in_.find("?>", pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 2;
+      } else if (Match("<!--")) {
+        const size_t end = in_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 3;
+      } else if (Match("<!DOCTYPE")) {
+        const size_t end = in_.find('>', pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() { SkipProlog(); }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+           c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    const size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Error("expected name");
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseAttrValue() {
+    if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    const char quote = Peek();
+    ++pos_;
+    std::string out;
+    while (!Eof() && Peek() != quote) {
+      if (Peek() == '&') {
+        PIYE_ASSIGN_OR_RETURN(char c, ParseEntity());
+        out += c;
+      } else {
+        out += Peek();
+        ++pos_;
+      }
+    }
+    if (Eof()) return Error("unterminated attribute value");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<char> ParseEntity() {
+    // pos_ is at '&'.
+    const size_t end = in_.find(';', pos_);
+    if (end == std::string_view::npos || end - pos_ > 6) {
+      return Error("malformed entity");
+    }
+    const std::string_view ent = in_.substr(pos_ + 1, end - pos_ - 1);
+    pos_ = end + 1;
+    if (ent == "lt") return '<';
+    if (ent == "gt") return '>';
+    if (ent == "amp") return '&';
+    if (ent == "quot") return '"';
+    if (ent == "apos") return '\'';
+    return Error("unknown entity '" + std::string(ent) + "'");
+  }
+
+  Result<std::unique_ptr<XmlNode>> ParseElement() {
+    if (!Match("<")) return Error("expected '<'");
+    PIYE_ASSIGN_OR_RETURN(std::string name, ParseName());
+    std::unique_ptr<XmlNode> node = XmlNode::Element(name);
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (Eof()) return Error("unterminated start tag");
+      if (Peek() == '/' || Peek() == '>') break;
+      PIYE_ASSIGN_OR_RETURN(std::string key, ParseName());
+      SkipWhitespace();
+      if (!Match("=")) return Error("expected '=' in attribute");
+      SkipWhitespace();
+      PIYE_ASSIGN_OR_RETURN(std::string value, ParseAttrValue());
+      node->SetAttr(std::move(key), std::move(value));
+    }
+    if (Match("/>")) return node;
+    if (!Match(">")) return Error("expected '>'");
+    // Content.
+    std::string text;
+    auto flush_text = [&] {
+      // Whitespace-only runs between elements are ignored.
+      if (!strings::Trim(text).empty()) node->AddText(text);
+      text.clear();
+    };
+    for (;;) {
+      if (Eof()) return Error("unterminated element '" + name + "'");
+      if (Match("<!--")) {
+        const size_t end = in_.find("-->", pos_);
+        if (end == std::string_view::npos) return Error("unterminated comment");
+        pos_ = end + 3;
+      } else if (Match("</")) {
+        flush_text();
+        PIYE_ASSIGN_OR_RETURN(std::string close, ParseName());
+        if (close != name) {
+          return Error("mismatched close tag '" + close + "' for '" + name + "'");
+        }
+        SkipWhitespace();
+        if (!Match(">")) return Error("expected '>' in close tag");
+        return node;
+      } else if (!Eof() && Peek() == '<') {
+        flush_text();
+        PIYE_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> child, ParseElement());
+        node->AddChild(std::move(child));
+      } else if (Peek() == '&') {
+        PIYE_ASSIGN_OR_RETURN(char c, ParseEntity());
+        text += c;
+      } else {
+        text += Peek();
+        ++pos_;
+      }
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+void EscapeInto(std::string_view s, bool attr, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      case '&':
+        *out += "&amp;";
+        break;
+      case '"':
+        if (attr) {
+          *out += "&quot;";
+        } else {
+          *out += c;
+        }
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+void SerializeInto(const XmlNode& node, int indent, int depth, std::string* out) {
+  const std::string pad =
+      indent >= 0 ? std::string(static_cast<size_t>(indent * depth), ' ') : "";
+  const char* nl = indent >= 0 ? "\n" : "";
+  if (node.is_text()) {
+    *out += pad;
+    EscapeInto(node.text(), /*attr=*/false, out);
+    *out += nl;
+    return;
+  }
+  *out += pad;
+  *out += '<';
+  *out += node.name();
+  for (const auto& [k, v] : node.attrs()) {
+    *out += ' ';
+    *out += k;
+    *out += "=\"";
+    EscapeInto(v, /*attr=*/true, out);
+    *out += '"';
+  }
+  if (node.children().empty()) {
+    *out += "/>";
+    *out += nl;
+    return;
+  }
+  // Single text child renders inline: <a>text</a>.
+  if (node.children().size() == 1 && node.children()[0]->is_text()) {
+    *out += '>';
+    EscapeInto(node.children()[0]->text(), /*attr=*/false, out);
+    *out += "</";
+    *out += node.name();
+    *out += '>';
+    *out += nl;
+    return;
+  }
+  *out += '>';
+  *out += nl;
+  for (const auto& c : node.children()) {
+    SerializeInto(*c, indent, depth + 1, out);
+  }
+  *out += pad;
+  *out += "</";
+  *out += node.name();
+  *out += '>';
+  *out += nl;
+}
+
+}  // namespace
+
+Result<XmlDocument> Parse(std::string_view input) {
+  return ParserImpl(input).Run();
+}
+
+std::string Serialize(const XmlNode& node, int indent) {
+  std::string out;
+  SerializeInto(node, indent, 0, &out);
+  return out;
+}
+
+std::string Serialize(const XmlDocument& doc, int indent) {
+  std::string out = "<?xml version=\"1.0\"?>";
+  out += indent >= 0 ? "\n" : "";
+  if (doc.has_root()) SerializeInto(doc.root(), indent, 0, &out);
+  return out;
+}
+
+}  // namespace xml
+}  // namespace piye

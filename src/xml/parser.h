@@ -1,0 +1,33 @@
+#ifndef PIYE_XML_PARSER_H_
+#define PIYE_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace piye {
+namespace xml {
+
+/// Parses a well-formed XML fragment into an XmlDocument.
+///
+/// Supported subset: one root element, nested elements, attributes with
+/// single- or double-quoted values, text content, comments (`<!-- -->`),
+/// processing instructions / declarations (`<? ?>`, skipped), and the five
+/// predefined entities. CDATA, DTDs, and namespaces-as-semantics are out of
+/// scope — names containing ':' are treated as plain names.
+Result<XmlDocument> Parse(std::string_view input);
+
+/// Serializes a node subtree. `indent` < 0 produces compact single-line
+/// output; otherwise children are pretty-printed with `indent` spaces per
+/// depth level. Text is entity-escaped on the way out, so Parse(Serialize(x))
+/// round-trips.
+std::string Serialize(const XmlNode& node, int indent = 2);
+
+/// Serializes a whole document (adds the XML declaration header).
+std::string Serialize(const XmlDocument& doc, int indent = 2);
+
+}  // namespace xml
+}  // namespace piye
+
+#endif  // PIYE_XML_PARSER_H_

@@ -1,0 +1,180 @@
+#include "xml/path.h"
+
+#include <set>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace piye {
+namespace xml {
+namespace {
+
+void CollectDescendantsOrSelf(const XmlNode& node, std::vector<const XmlNode*>* out) {
+  if (node.is_element()) out->push_back(&node);
+  for (const auto& c : node.children()) CollectDescendantsOrSelf(*c, out);
+}
+
+bool NameMatches(const PathStep& step, const XmlNode& node) {
+  return step.name == "*" || node.name() == step.name;
+}
+
+bool PredicateMatches(const PathStep::Predicate& pred, const XmlNode& node) {
+  switch (pred.kind) {
+    case PathStep::Predicate::Kind::kHasAttr:
+      return node.HasAttr(pred.name);
+    case PathStep::Predicate::Kind::kAttrEq: {
+      const std::string* v = node.GetAttr(pred.name);
+      return v != nullptr && *v == pred.value;
+    }
+    case PathStep::Predicate::Kind::kChildEq:
+      return node.ChildText(pred.name) == pred.value;
+  }
+  return false;
+}
+
+bool StepMatches(const PathStep& step, const XmlNode& node) {
+  if (!node.is_element()) return false;
+  if (!NameMatches(step, node)) return false;
+  if (step.predicate && !PredicateMatches(*step.predicate, node)) return false;
+  return true;
+}
+
+Result<PathStep::Predicate> ParsePredicate(std::string_view body) {
+  PathStep::Predicate pred;
+  std::string_view rest = body;
+  const bool is_attr = !rest.empty() && rest[0] == '@';
+  if (is_attr) rest.remove_prefix(1);
+  const size_t eq = rest.find('=');
+  if (eq == std::string_view::npos) {
+    if (!is_attr) {
+      return Status::ParseError("predicate without '=' must test an attribute: [" +
+                                std::string(body) + "]");
+    }
+    pred.kind = PathStep::Predicate::Kind::kHasAttr;
+    pred.name = std::string(rest);
+    return pred;
+  }
+  pred.kind = is_attr ? PathStep::Predicate::Kind::kAttrEq
+                      : PathStep::Predicate::Kind::kChildEq;
+  pred.name = strings::Trim(rest.substr(0, eq));
+  std::string value = strings::Trim(rest.substr(eq + 1));
+  if (value.size() >= 2 && (value.front() == '\'' || value.front() == '"') &&
+      value.back() == value.front()) {
+    value = value.substr(1, value.size() - 2);
+  } else {
+    return Status::ParseError("predicate value must be quoted: [" +
+                              std::string(body) + "]");
+  }
+  pred.value = value;
+  if (pred.name.empty()) {
+    return Status::ParseError("empty predicate name: [" + std::string(body) + "]");
+  }
+  return pred;
+}
+
+}  // namespace
+
+Result<XmlPath> XmlPath::Parse(std::string_view expr) {
+  XmlPath path;
+  const std::string trimmed = strings::Trim(expr);
+  std::string_view rest = trimmed;
+  if (rest.empty() || rest[0] != '/') {
+    return Status::ParseError("path must start with '/' or '//': '" +
+                              std::string(expr) + "'");
+  }
+  while (!rest.empty()) {
+    PathStep step;
+    if (strings::StartsWith(rest, "//")) {
+      step.axis = PathStep::Axis::kDescendant;
+      rest.remove_prefix(2);
+    } else if (strings::StartsWith(rest, "/")) {
+      step.axis = PathStep::Axis::kChild;
+      rest.remove_prefix(1);
+    } else {
+      return Status::ParseError("expected '/' in path near '" + std::string(rest) +
+                                "'");
+    }
+    size_t i = 0;
+    while (i < rest.size() && rest[i] != '/' && rest[i] != '[') ++i;
+    step.name = std::string(rest.substr(0, i));
+    if (step.name.empty()) {
+      return Status::ParseError("empty step name in '" + std::string(expr) + "'");
+    }
+    rest.remove_prefix(i);
+    if (!rest.empty() && rest[0] == '[') {
+      const size_t close = rest.find(']');
+      if (close == std::string_view::npos) {
+        return Status::ParseError("unterminated predicate in '" + std::string(expr) +
+                                  "'");
+      }
+      PIYE_ASSIGN_OR_RETURN(PathStep::Predicate pred,
+                            ParsePredicate(rest.substr(1, close - 1)));
+      step.predicate = std::move(pred);
+      rest.remove_prefix(close + 1);
+    }
+    path.steps_.push_back(std::move(step));
+  }
+  return path;
+}
+
+std::vector<const XmlNode*> XmlPath::Evaluate(const XmlNode& root) const {
+  std::vector<const XmlNode*> current;
+  bool first = true;
+  for (const PathStep& step : steps_) {
+    std::vector<const XmlNode*> candidates;
+    if (first) {
+      if (step.axis == PathStep::Axis::kChild) {
+        candidates.push_back(&root);
+      } else {
+        CollectDescendantsOrSelf(root, &candidates);
+      }
+    } else {
+      for (const XmlNode* node : current) {
+        if (step.axis == PathStep::Axis::kChild) {
+          for (const auto& c : node->children()) {
+            if (c->is_element()) candidates.push_back(c.get());
+          }
+        } else {
+          for (const auto& c : node->children()) {
+            CollectDescendantsOrSelf(*c, &candidates);
+          }
+        }
+      }
+    }
+    std::vector<const XmlNode*> next;
+    std::set<const XmlNode*> seen;
+    for (const XmlNode* node : candidates) {
+      if (StepMatches(step, *node) && seen.insert(node).second) {
+        next.push_back(node);
+      }
+    }
+    current = std::move(next);
+    first = false;
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+std::string XmlPath::ToString() const {
+  std::string out;
+  for (const PathStep& step : steps_) {
+    out += step.axis == PathStep::Axis::kDescendant ? "//" : "/";
+    out += step.name;
+    if (step.predicate) {
+      const auto& p = *step.predicate;
+      out += '[';
+      if (p.kind != PathStep::Predicate::Kind::kChildEq) out += '@';
+      out += p.name;
+      if (p.kind != PathStep::Predicate::Kind::kHasAttr) {
+        out += "='";
+        out += p.value;
+        out += '\'';
+      }
+      out += ']';
+    }
+  }
+  return out;
+}
+
+}  // namespace xml
+}  // namespace piye

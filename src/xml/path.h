@@ -1,0 +1,65 @@
+#ifndef PIYE_XML_PATH_H_
+#define PIYE_XML_PATH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace piye {
+namespace xml {
+
+/// One step of a parsed path expression.
+struct PathStep {
+  enum class Axis {
+    kChild,       ///< `/name`
+    kDescendant,  ///< `//name`
+  };
+
+  /// Predicate forms supported inside `[...]`.
+  struct Predicate {
+    enum class Kind {
+      kHasAttr,    ///< [@a]
+      kAttrEq,     ///< [@a='v']
+      kChildEq,    ///< [c='v']
+    };
+    Kind kind;
+    std::string name;
+    std::string value;
+  };
+
+  Axis axis = Axis::kChild;
+  std::string name;  ///< element name, or "*" wildcard
+  std::optional<Predicate> predicate;
+};
+
+/// A compiled XPath-subset expression over the XmlNode model.
+///
+/// Grammar: `('/'|'//') name ('[' predicate ']')? ...` where predicate is
+/// `@attr`, `@attr='v'`, or `child='v'`. This is the query surface the
+/// mediation engine fragments and the sources rewrite; the loose-matching
+/// variant in loose_path.h relaxes the name equality.
+class XmlPath {
+ public:
+  /// Compiles an expression such as `//patient[@id='7']/dob`.
+  static Result<XmlPath> Parse(std::string_view expr);
+
+  /// All element nodes selected by this path, starting the first step at
+  /// `root` itself (i.e. `/r` matches a root named `r`).
+  std::vector<const XmlNode*> Evaluate(const XmlNode& root) const;
+
+  const std::vector<PathStep>& steps() const { return steps_; }
+
+  /// Re-renders the compiled expression (normalized form).
+  std::string ToString() const;
+
+ private:
+  std::vector<PathStep> steps_;
+};
+
+}  // namespace xml
+}  // namespace piye
+
+#endif  // PIYE_XML_PATH_H_

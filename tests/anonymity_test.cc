@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "anonymity/hierarchy.h"
+#include "anonymity/kanonymity.h"
+#include "common/rng.h"
+
+namespace piye {
+namespace anonymity {
+namespace {
+
+using relational::Column;
+using relational::ColumnType;
+using relational::Row;
+using relational::Schema;
+using relational::Table;
+using relational::Value;
+
+TEST(NumericHierarchyTest, LevelsWidenThenSuppress) {
+  const NumericHierarchy h(0.0, {10.0, 50.0});
+  EXPECT_EQ(h.max_level(), 3u);
+  EXPECT_EQ(h.Generalize(Value::Int(37), 0), "37");
+  EXPECT_EQ(h.Generalize(Value::Int(37), 1), "[30,40)");
+  EXPECT_EQ(h.Generalize(Value::Int(37), 2), "[0,50)");
+  EXPECT_EQ(h.Generalize(Value::Int(37), 3), "*");
+  EXPECT_EQ(h.Generalize(Value::Null(), 1), "NULL");
+}
+
+TEST(CategoricalHierarchyTest, ChainsAndUnknowns) {
+  CategoricalHierarchy h(2);
+  ASSERT_TRUE(h.AddChain("cardiology", {"internal-medicine", "medical"}).ok());
+  ASSERT_TRUE(h.AddChain("oncology", {"internal-medicine"}).ok());  // padded
+  EXPECT_EQ(h.Generalize(Value::Str("cardiology"), 1), "internal-medicine");
+  EXPECT_EQ(h.Generalize(Value::Str("cardiology"), 2), "medical");
+  EXPECT_EQ(h.Generalize(Value::Str("oncology"), 2), "internal-medicine");
+  EXPECT_EQ(h.Generalize(Value::Str("cardiology"), 3), "*");
+  EXPECT_EQ(h.Generalize(Value::Str("unknown"), 1), "*");
+  EXPECT_FALSE(h.AddChain("cardiology", {"x"}).ok());
+  EXPECT_FALSE(h.AddChain("new", {}).ok());
+}
+
+Table MicrodataFixture() {
+  // age, zip, disease — the classic k-anonymity example shape.
+  Table t(Schema{Column{"age", ColumnType::kInt64},
+                 Column{"zip", ColumnType::kInt64},
+                 Column{"disease", ColumnType::kString}});
+  const int64_t ages[] = {25, 27, 26, 28, 45, 47, 46, 48, 65, 67, 66, 68};
+  const int64_t zips[] = {13053, 13068, 13053, 13068, 14853, 14850,
+                          14853, 14850, 13053, 13068, 13053, 13068};
+  const char* diseases[] = {"flu",    "flu",    "cancer", "cancer",
+                            "cancer", "flu",    "flu",    "cancer",
+                            "flu",    "cancer", "flu",    "cancer"};
+  for (int i = 0; i < 12; ++i) {
+    (void)t.AppendRow(Row{Value::Int(ages[i]), Value::Int(zips[i]),
+                          Value::Str(diseases[i])});
+  }
+  return t;
+}
+
+std::vector<QuasiIdentifier> MicrodataQis() {
+  return {
+      {"age", std::make_shared<NumericHierarchy>(0.0, std::vector<double>{10.0, 50.0})},
+      {"zip",
+       std::make_shared<NumericHierarchy>(0.0, std::vector<double>{100.0, 10000.0})},
+  };
+}
+
+TEST(KAnonymityCheckTest, RawDataIsNotAnonymous) {
+  const Table t = MicrodataFixture();
+  auto k2 = IsKAnonymous(t, {"age", "zip"}, 2);
+  ASSERT_TRUE(k2.ok());
+  EXPECT_FALSE(*k2);
+  auto k1 = IsKAnonymous(t, {"age", "zip"}, 1);
+  ASSERT_TRUE(k1.ok());
+  EXPECT_TRUE(*k1);
+}
+
+TEST(KAnonymizerTest, FindsMinimalGeneralization) {
+  const Table t = MicrodataFixture();
+  const KAnonymizer anonymizer(MicrodataQis(), 4);
+  auto result = anonymizer.Anonymize(t);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->suppressed_rows, 0u);
+  auto check = IsKAnonymous(result->table, {"age", "zip"}, 4);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(*check);
+  // The chosen level vector must be minimal: total height of the solution
+  // found first by the breadth-first lattice sweep.
+  size_t height = 0;
+  for (size_t l : result->levels) height += l;
+  EXPECT_LE(height, 3u);
+}
+
+TEST(KAnonymizerTest, HigherKNeedsMoreGeneralization) {
+  const Table t = MicrodataFixture();
+  const KAnonymizer a2(MicrodataQis(), 2);
+  const KAnonymizer a6(MicrodataQis(), 6);
+  auto r2 = a2.Anonymize(t);
+  auto r6 = a6.Anonymize(t);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r6.ok());
+  EXPECT_LE(a2.GeneralizationLoss(r2->levels), a6.GeneralizationLoss(r6->levels));
+}
+
+TEST(KAnonymizerTest, ImpossibleKFails) {
+  const Table t = MicrodataFixture();
+  const KAnonymizer anonymizer(MicrodataQis(), 13);  // more than rows
+  EXPECT_TRUE(anonymizer.Anonymize(t).status().IsPrivacyViolation());
+}
+
+TEST(KAnonymizerTest, SuppressionAllowsLowerLevels) {
+  Table t = MicrodataFixture();
+  // One outlier that otherwise forces heavy generalization.
+  (void)t.AppendRow(Row{Value::Int(99), Value::Int(99999), Value::Str("flu")});
+  const KAnonymizer strict(MicrodataQis(), 4, /*max_suppression=*/0);
+  const KAnonymizer relaxed(MicrodataQis(), 4, /*max_suppression=*/1);
+  auto rs = strict.Anonymize(t);
+  auto rr = relaxed.Anonymize(t);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rr.ok());
+  EXPECT_LE(relaxed.GeneralizationLoss(rr->levels),
+            strict.GeneralizationLoss(rs->levels));
+  EXPECT_LE(rr->suppressed_rows, 1u);
+}
+
+TEST(MetricsTest, DiscernibilityAndClassSizes) {
+  const Table t = MicrodataFixture();
+  const KAnonymizer anonymizer(MicrodataQis(), 4);
+  auto result = anonymizer.Anonymize(t);
+  ASSERT_TRUE(result.ok());
+  auto metrics = ComputeMetrics(result->table, {"age", "zip"});
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GE(metrics->min_class_size, 4u);
+  EXPECT_GE(metrics->avg_class_size, 4.0);
+  // Discernibility of a table of 12 rows lies in [12, 144].
+  EXPECT_GE(metrics->discernibility, 12.0);
+  EXPECT_LE(metrics->discernibility, 144.0);
+}
+
+TEST(LDiversityTest, DetectsHomogeneousClasses) {
+  Table t(Schema{Column{"q", ColumnType::kString}, Column{"s", ColumnType::kString}});
+  (void)t.AppendRow(Row{Value::Str("a"), Value::Str("flu")});
+  (void)t.AppendRow(Row{Value::Str("a"), Value::Str("flu")});
+  (void)t.AppendRow(Row{Value::Str("b"), Value::Str("flu")});
+  (void)t.AppendRow(Row{Value::Str("b"), Value::Str("hiv")});
+  auto l2 = IsLDiverse(t, {"q"}, "s", 2);
+  ASSERT_TRUE(l2.ok());
+  EXPECT_FALSE(*l2);  // class "a" is homogeneous — attribute disclosure
+  auto l1 = IsLDiverse(t, {"q"}, "s", 1);
+  ASSERT_TRUE(l1.ok());
+  EXPECT_TRUE(*l1);
+}
+
+TEST(MondrianTest, PartitionsAreKAnonymous) {
+  Rng rng(3);
+  Table t(Schema{Column{"age", ColumnType::kInt64},
+                 Column{"zip", ColumnType::kInt64},
+                 Column{"disease", ColumnType::kString}});
+  for (int i = 0; i < 200; ++i) {
+    (void)t.AppendRow(Row{Value::Int(20 + static_cast<int64_t>(rng.NextBounded(60))),
+                          Value::Int(10000 + static_cast<int64_t>(rng.NextBounded(90000))),
+                          Value::Str(i % 2 == 0 ? "flu" : "cancer")});
+  }
+  const Mondrian mondrian({"age", "zip"}, 5);
+  auto result = mondrian.Anonymize(t);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), t.num_rows());
+  auto check = IsKAnonymous(*result, {"age", "zip"}, 5);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(*check);
+}
+
+TEST(MondrianTest, BeatsSingleDimensionLatticeOnUtility) {
+  Rng rng(5);
+  Table t(Schema{Column{"age", ColumnType::kInt64},
+                 Column{"zip", ColumnType::kInt64}});
+  for (int i = 0; i < 300; ++i) {
+    (void)t.AppendRow(Row{Value::Int(20 + static_cast<int64_t>(rng.NextBounded(60))),
+                          Value::Int(10000 + static_cast<int64_t>(rng.NextBounded(90000)))});
+  }
+  const Mondrian mondrian({"age", "zip"}, 4);
+  auto mondrian_result = mondrian.Anonymize(t);
+  ASSERT_TRUE(mondrian_result.ok());
+  const KAnonymizer lattice(
+      {{"age", std::make_shared<NumericHierarchy>(0.0, std::vector<double>{20.0, 40.0})},
+       {"zip",
+        std::make_shared<NumericHierarchy>(0.0, std::vector<double>{20000.0, 50000.0})}},
+      4);
+  auto lattice_result = lattice.Anonymize(t);
+  ASSERT_TRUE(lattice_result.ok());
+  auto m_mondrian = ComputeMetrics(*mondrian_result, {"age", "zip"});
+  auto m_lattice =
+      ComputeMetrics(lattice_result->table, {"age", "zip"},
+                     lattice_result->suppressed_rows);
+  ASSERT_TRUE(m_mondrian.ok());
+  ASSERT_TRUE(m_lattice.ok());
+  // Multidimensional cuts produce smaller classes ⇒ lower discernibility.
+  EXPECT_LT(m_mondrian->discernibility, m_lattice->discernibility);
+}
+
+TEST(MondrianTest, RejectsNonNumericQi) {
+  Table t(Schema{Column{"name", ColumnType::kString}});
+  (void)t.AppendRow(Row{Value::Str("x")});
+  const Mondrian mondrian({"name"}, 1);
+  EXPECT_FALSE(mondrian.Anonymize(t).ok());
+}
+
+}  // namespace
+}  // namespace anonymity
+}  // namespace piye

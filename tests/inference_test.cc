@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "inference/constraint.h"
+#include "inference/interval_solver.h"
+#include "inference/nlp_solver.h"
+#include "inference/privacy_loss.h"
+#include "inference/sequence_auditor.h"
+#include "inference/snooping_attack.h"
+
+namespace piye {
+namespace inference {
+namespace {
+
+TEST(ConstraintSystemTest, ViolationIsZeroAtFeasiblePoint) {
+  ConstraintSystem sys;
+  const size_t x = sys.AddVariable("x", 0, 10);
+  const size_t y = sys.AddVariable("y", 0, 10);
+  sys.AddMeanConstraint({x, y}, 5.0, 0.0);  // x + y = 10
+  EXPECT_DOUBLE_EQ(sys.TotalViolation({4.0, 6.0}), 0.0);
+  EXPECT_GT(sys.TotalViolation({4.0, 4.0}), 0.0);
+  EXPECT_GT(sys.TotalViolation({-1.0, 11.0}), 0.0);  // box violations count
+}
+
+TEST(ConstraintSystemTest, StdDevConstraintForm) {
+  ConstraintSystem sys;
+  const size_t a = sys.AddVariable("a", 0, 100);
+  const size_t b = sys.AddVariable("b", 0, 100);
+  // mean 50, sigma 10 ⇒ sum (x-50)^2 = 200.
+  sys.AddStdDevConstraint({a, b}, 50.0, 10.0, 0.0);
+  EXPECT_DOUBLE_EQ(sys.TotalViolation({40.0, 60.0}), 0.0);
+  EXPECT_GT(sys.TotalViolation({50.0, 50.0}), 0.0);
+}
+
+TEST(IntervalPropagatorTest, LinearTightening) {
+  ConstraintSystem sys;
+  const size_t x = sys.AddVariable("x", 0, 100);
+  const size_t y = sys.AddVariable("y", 0, 100);
+  // x + y in [150, 150]: each variable must be >= 50.
+  LinearConstraint c;
+  c.terms = {{x, 1.0}, {y, 1.0}};
+  c.lo = c.hi = 150.0;
+  sys.AddLinear(c);
+  IntervalPropagator prop(&sys);
+  auto dom = prop.Propagate();
+  ASSERT_TRUE(dom.ok());
+  EXPECT_NEAR((*dom)[x].lo, 50.0, 1e-9);
+  EXPECT_NEAR((*dom)[x].hi, 100.0, 1e-9);
+}
+
+TEST(IntervalPropagatorTest, FixedVariablePropagates) {
+  ConstraintSystem sys;
+  const size_t x = sys.AddVariable("x", 0, 100);
+  const size_t y = sys.AddVariable("y", 0, 100);
+  ASSERT_TRUE(sys.FixVariable(x, 30.0).ok());
+  sys.AddMeanConstraint({x, y}, 40.0, 0.0);  // x + y = 80 ⇒ y = 50
+  IntervalPropagator prop(&sys);
+  auto dom = prop.Propagate();
+  ASSERT_TRUE(dom.ok());
+  EXPECT_NEAR((*dom)[y].lo, 50.0, 1e-9);
+  EXPECT_NEAR((*dom)[y].hi, 50.0, 1e-9);
+}
+
+TEST(IntervalPropagatorTest, QuadraticTightening) {
+  ConstraintSystem sys;
+  const size_t x = sys.AddVariable("x", 0, 100);
+  QuadraticConstraint q;
+  q.vars = {x};
+  q.center = 50.0;
+  q.lo = 0.0;
+  q.hi = 25.0;  // |x - 50| <= 5
+  sys.AddQuadratic(q);
+  IntervalPropagator prop(&sys);
+  auto dom = prop.Propagate();
+  ASSERT_TRUE(dom.ok());
+  EXPECT_NEAR((*dom)[x].lo, 45.0, 1e-9);
+  EXPECT_NEAR((*dom)[x].hi, 55.0, 1e-9);
+}
+
+TEST(IntervalPropagatorTest, DetectsInfeasibility) {
+  ConstraintSystem sys;
+  const size_t x = sys.AddVariable("x", 0, 10);
+  LinearConstraint c;
+  c.terms = {{x, 1.0}};
+  c.lo = c.hi = 50.0;  // outside the box
+  sys.AddLinear(c);
+  IntervalPropagator prop(&sys);
+  EXPECT_FALSE(prop.Propagate().ok());
+}
+
+TEST(NlpBoundSolverTest, BoundsLinearSystem) {
+  ConstraintSystem sys;
+  const size_t x = sys.AddVariable("x", 0, 100);
+  const size_t y = sys.AddVariable("y", 0, 100);
+  // Published constraints always carry a rounding tolerance; exact (zero
+  // width) equalities are hostile to the penalty method by design.
+  LinearConstraint c;
+  c.terms = {{x, 1.0}, {y, 1.0}};
+  c.lo = 99.95;
+  c.hi = 100.05;
+  sys.AddLinear(c);
+  NlpBoundSolver solver(&sys, 42);
+  auto bound = solver.Bound(x);
+  ASSERT_TRUE(bound.ok());
+  ASSERT_TRUE(bound->feasible);
+  EXPECT_NEAR(bound->lower, 0.0, 2.0);
+  EXPECT_NEAR(bound->upper, 100.0, 2.0);
+}
+
+TEST(NlpBoundSolverTest, FindsFeasiblePoint) {
+  ConstraintSystem sys;
+  const size_t x = sys.AddVariable("x", 0, 100);
+  const size_t y = sys.AddVariable("y", 0, 100);
+  sys.AddMeanConstraint({x, y}, 30.0, 0.1);
+  sys.AddStdDevConstraint({x, y}, 30.0, 10.0, 0.1);
+  NlpBoundSolver solver(&sys, 17);
+  auto point = solver.FindFeasiblePoint();
+  ASSERT_TRUE(point.ok()) << point.status().ToString();
+  EXPECT_LT(sys.TotalViolation(*point), 1e-3);
+}
+
+TEST(NlpBoundSolverTest, InfeasibleSystemReportsNoBounds) {
+  ConstraintSystem sys;
+  const size_t x = sys.AddVariable("x", 0, 10);
+  LinearConstraint c;
+  c.terms = {{x, 1.0}};
+  c.lo = c.hi = 99.0;
+  sys.AddLinear(c);
+  NlpBoundSolver solver(&sys, 5);
+  auto bound = solver.Bound(x);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_FALSE(bound->feasible);
+  EXPECT_FALSE(solver.FindFeasiblePoint().ok());
+}
+
+// --- Figure 1 ---
+
+TEST(SnoopingAttackTest, Figure1IntervalsAreNarrowAndBracketPaperValues) {
+  const auto published = PublishedAggregates::Figure1();
+  const auto attacker = AttackerKnowledge::Figure1();
+  SnoopingAttack attack(42);
+  auto result = attack.Run(published, attacker);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The attacker's own cells are exact.
+  for (size_t m = 0; m < published.measures.size(); ++m) {
+    EXPECT_DOUBLE_EQ(result->intervals[m][0].lo, attacker.own_values[m]);
+    EXPECT_DOUBLE_EQ(result->intervals[m][0].hi, attacker.own_values[m]);
+  }
+  // Paper's Figure 1(d) midpoints must fall inside our (conservative)
+  // intervals: HMO2/3/4 per measure.
+  const double paper_mid[3][3] = {{87.85, 84.6, 84.8},
+                                  {59.2, 50.2, 50.85},
+                                  {47.35, 45.85, 45.95}};
+  for (size_t m = 0; m < 3; ++m) {
+    for (size_t p = 1; p < 4; ++p) {
+      const Interval& iv = result->intervals[m][p];
+      EXPECT_LE(iv.lo, paper_mid[m][p - 1] + 1.0)
+          << published.measures[m] << "/" << published.parties[p];
+      EXPECT_GE(iv.hi, paper_mid[m][p - 1] - 1.0)
+          << published.measures[m] << "/" << published.parties[p];
+      // The breach: intervals are an order of magnitude narrower than the
+      // 100-point prior.
+      EXPECT_LT(iv.width(), 15.0);
+      EXPECT_GT(iv.width(), 0.0);
+    }
+  }
+  EXPECT_LT(result->MeanUnknownWidth(0), 10.0);
+}
+
+TEST(SnoopingAttackTest, CoarserPublicationWidensIntervals) {
+  auto published = PublishedAggregates::Figure1();
+  const auto attacker = AttackerKnowledge::Figure1();
+  SnoopingAttack attack(42);
+  auto precise = attack.Run(published, attacker);
+  ASSERT_TRUE(precise.ok());
+  published.tolerance = 2.5;  // aggregates published rounded to 5 points
+  auto coarse = attack.Run(published, attacker);
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_GT(coarse->MeanUnknownWidth(0), 1.5 * precise->MeanUnknownWidth(0));
+}
+
+TEST(SnoopingAttackTest, RejectsMalformedInputs) {
+  auto published = PublishedAggregates::Figure1();
+  auto attacker = AttackerKnowledge::Figure1();
+  attacker.own_values.pop_back();
+  EXPECT_FALSE(SnoopingAttack::BuildSystem(published, attacker).ok());
+  attacker = AttackerKnowledge::Figure1();
+  attacker.party_index = 99;
+  EXPECT_FALSE(SnoopingAttack::BuildSystem(published, attacker).ok());
+}
+
+// --- Privacy loss metrics ---
+
+TEST(PrivacyLossTest, IntervalLoss) {
+  const Interval prior{0, 100};
+  EXPECT_DOUBLE_EQ(loss::IntervalLoss(prior, {0, 100}), 0.0);
+  EXPECT_DOUBLE_EQ(loss::IntervalLoss(prior, {40, 60}), 0.8);
+  EXPECT_DOUBLE_EQ(loss::IntervalLoss(prior, {50, 50}), 1.0);
+  EXPECT_DOUBLE_EQ(loss::IntervalLoss({5, 5}, {5, 5}), 0.0);  // degenerate prior
+}
+
+TEST(PrivacyLossTest, IntervalLossBits) {
+  const Interval prior{0, 100};
+  EXPECT_NEAR(loss::IntervalLossBits(prior, {0, 50}), 1.0, 1e-9);
+  EXPECT_NEAR(loss::IntervalLossBits(prior, {0, 25}), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(loss::IntervalLossBits(prior, {0, 100}), 0.0);
+}
+
+TEST(PrivacyLossTest, AggregationIsWorstCase) {
+  EXPECT_DOUBLE_EQ(loss::AggregateLoss({0.1, 0.9, 0.3}), 0.9);
+  EXPECT_DOUBLE_EQ(loss::MeanLoss({0.1, 0.9, 0.2}), 0.4);
+  EXPECT_DOUBLE_EQ(loss::AggregateLoss({}), 0.0);
+}
+
+TEST(PrivacyLossTest, RUScore) {
+  EXPECT_DOUBLE_EQ(loss::RUScore(0.3, 0.8), 0.5);
+}
+
+// --- Sequence auditor ---
+
+TEST(SequenceAuditorTest, RefusesOverNarrowingSequence) {
+  SequenceAuditor auditor(/*max_interval_loss=*/0.8);
+  const size_t a = auditor.AddSensitiveValue("a", 0, 100, 70.0);
+  const size_t b = auditor.AddSensitiveValue("b", 0, 100, 30.0);
+  // Mean over {a,b} alone narrows nothing below threshold.
+  ASSERT_TRUE(auditor.DiscloseMean({a, b}, 0.5).ok());
+  // Disclosing a exactly would take its loss to 1 > 0.8: refused.
+  auto r = auditor.DiscloseExact(a);
+  EXPECT_TRUE(r.status().IsPrivacyViolation());
+  EXPECT_EQ(auditor.disclosures_committed(), 1u);
+  EXPECT_EQ(auditor.disclosures_refused(), 1u);
+  // The refused disclosure left no trace: bounds unchanged.
+  auto losses = auditor.CurrentLosses();
+  ASSERT_TRUE(losses.ok());
+  for (double l : *losses) EXPECT_LE(l, 0.8);
+}
+
+TEST(SequenceAuditorTest, CombinationAttackIsCaught) {
+  // The Figure 1 pattern: individually safe aggregates combine to pin a
+  // value. mean(a,b) and then mean(a) distinguishes both.
+  SequenceAuditor auditor(/*max_interval_loss=*/0.5);
+  const size_t a = auditor.AddSensitiveValue("a", 0, 100, 70.0);
+  const size_t b = auditor.AddSensitiveValue("b", 0, 100, 30.0);
+  ASSERT_TRUE(auditor.DiscloseMean({a, b}, 0.5).ok());
+  // mean({a}) = a exactly: combined with the previous mean it pins b too.
+  auto r = auditor.DiscloseMean({a}, 0.5);
+  EXPECT_TRUE(r.status().IsPrivacyViolation());
+}
+
+TEST(SequenceAuditorTest, PermissiveThresholdAllowsEverything) {
+  SequenceAuditor auditor(/*max_interval_loss=*/1.0);
+  const size_t a = auditor.AddSensitiveValue("a", 0, 100, 42.0);
+  EXPECT_TRUE(auditor.DiscloseExact(a).ok());
+  auto bounds = auditor.CurrentBounds();
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_NEAR((*bounds)[a].lo, 42.0, 1e-6);
+  EXPECT_NEAR((*bounds)[a].hi, 42.0, 1e-6);
+}
+
+TEST(SequenceAuditorTest, StdDevDisclosureAudited) {
+  SequenceAuditor auditor(/*max_interval_loss=*/0.95);
+  std::vector<size_t> vars;
+  const double values[] = {75, 88, 84, 85};
+  for (int i = 0; i < 4; ++i) {
+    vars.push_back(auditor.AddSensitiveValue("v" + std::to_string(i), 0, 100,
+                                             values[i]));
+  }
+  ASSERT_TRUE(auditor.DiscloseMean(vars, 0.05).ok());
+  ASSERT_TRUE(auditor.DiscloseStdDev(vars, 0.05).ok());
+  auto losses = auditor.CurrentLosses();
+  ASSERT_TRUE(losses.ok());
+  for (double l : *losses) EXPECT_LE(l, 0.95);
+}
+
+}  // namespace
+}  // namespace inference
+}  // namespace piye

@@ -1,0 +1,425 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "relational/executor.h"
+#include "relational/expression.h"
+#include "relational/schema.h"
+#include "relational/sql.h"
+#include "relational/table.h"
+#include "relational/value.h"
+#include "relational/xml_bridge.h"
+#include "xml/parser.h"
+
+namespace piye {
+namespace relational {
+namespace {
+
+Table PatientsFixture() {
+  Table t(Schema{Column{"id", ColumnType::kInt64},
+                 Column{"name", ColumnType::kString},
+                 Column{"age", ColumnType::kInt64},
+                 Column{"rate", ColumnType::kDouble},
+                 Column{"city", ColumnType::kString}});
+  auto add = [&t](int64_t id, const char* name, int64_t age, double rate,
+                  const char* city) {
+    ASSERT_TRUE(t.AppendRow(Row{Value::Int(id), Value::Str(name), Value::Int(age),
+                                Value::Real(rate), Value::Str(city)})
+                    .ok());
+  };
+  add(1, "ann", 34, 0.7, "oslo");
+  add(2, "bob", 45, 0.5, "oslo");
+  add(3, "cal", 61, 0.9, "bern");
+  add(4, "dee", 29, 0.4, "bern");
+  add(5, "eli", 45, 0.6, "rome");
+  return t;
+}
+
+// --- Value ---
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Value::Int(5).AsDouble(), 5.0);
+  EXPECT_EQ(Value::Str("x").AsString(), "x");
+  EXPECT_TRUE(Value::Boolean(true).AsBool());
+}
+
+TEST(ValueTest, CompareNumericCrossType) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Real(2.0)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Real(1.5)), 0);
+  EXPECT_GT(Value::Real(2.5).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, NullSortsFirstAndSqlEqualsFalse) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Null()));
+  EXPECT_TRUE(Value::Null() == Value::Null());  // exact equality for grouping
+}
+
+TEST(ValueTest, ParseByType) {
+  ASSERT_TRUE(Value::Parse("42", ColumnType::kInt64).ok());
+  EXPECT_EQ(Value::Parse("42", ColumnType::kInt64)->AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Parse("2.5", ColumnType::kDouble)->AsDouble(), 2.5);
+  EXPECT_TRUE(Value::Parse("true", ColumnType::kBool)->AsBool());
+  EXPECT_TRUE(Value::Parse("NULL", ColumnType::kInt64)->is_null());
+  EXPECT_FALSE(Value::Parse("abc", ColumnType::kInt64).ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Str("x").ToString(), "'x'");
+  EXPECT_EQ(Value::Str("x").ToDisplayString(), "x");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+}
+
+// --- Schema / Table ---
+
+TEST(SchemaTest, IndexAndProject) {
+  Schema s{Column{"a", ColumnType::kInt64}, Column{"b", ColumnType::kString}};
+  ASSERT_TRUE(s.IndexOf("b").ok());
+  EXPECT_EQ(*s.IndexOf("b"), 1u);
+  EXPECT_FALSE(s.IndexOf("z").ok());
+  auto proj = s.Project({"b"});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->num_columns(), 1u);
+}
+
+TEST(TableTest, AppendRowValidatesArityAndTypes) {
+  Table t(Schema{Column{"a", ColumnType::kInt64}});
+  EXPECT_FALSE(t.AppendRow(Row{Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_FALSE(t.AppendRow(Row{Value::Str("x")}).ok());
+  EXPECT_TRUE(t.AppendRow(Row{Value::Null()}).ok());
+  EXPECT_TRUE(t.AppendRow(Row{Value::Int(1)}).ok());
+}
+
+TEST(TableTest, IntWidensToDouble) {
+  Table t(Schema{Column{"d", ColumnType::kDouble}});
+  ASSERT_TRUE(t.AppendRow(Row{Value::Int(3)}).ok());
+  EXPECT_TRUE(t.row(0)[0].is_double());
+  EXPECT_DOUBLE_EQ(t.row(0)[0].AsDouble(), 3.0);
+}
+
+TEST(TableTest, NumericColumnSkipsNulls) {
+  Table t(Schema{Column{"d", ColumnType::kDouble}});
+  ASSERT_TRUE(t.AppendRow(Row{Value::Real(1.0)}).ok());
+  ASSERT_TRUE(t.AppendRow(Row{Value::Null()}).ok());
+  auto xs = t.NumericColumn("d");
+  ASSERT_TRUE(xs.ok());
+  EXPECT_EQ(xs->size(), 1u);
+}
+
+// --- Expressions ---
+
+TEST(ExpressionTest, ArithmeticAndComparison) {
+  const Table t = PatientsFixture();
+  auto expr = ParseExpression("age * 2 + 1");
+  ASSERT_TRUE(expr.ok());
+  auto v = (*expr)->Evaluate(t.row(0), t.schema());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 69);
+}
+
+TEST(ExpressionTest, DivisionByZeroIsNull) {
+  auto expr = ParseExpression("1 / 0");
+  ASSERT_TRUE(expr.ok());
+  auto v = (*expr)->Evaluate({}, Schema{});
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ExpressionTest, LikeMatching) {
+  EXPECT_TRUE(SqlLikeMatch("hello", "h%o"));
+  EXPECT_TRUE(SqlLikeMatch("hello", "_ello"));
+  EXPECT_TRUE(SqlLikeMatch("hello", "%"));
+  EXPECT_FALSE(SqlLikeMatch("hello", "h_o"));
+  EXPECT_TRUE(SqlLikeMatch("", "%"));
+  EXPECT_FALSE(SqlLikeMatch("abc", ""));
+}
+
+TEST(ExpressionTest, InList) {
+  const Table t = PatientsFixture();
+  auto expr = ParseExpression("city IN ('oslo', 'rome')");
+  ASSERT_TRUE(expr.ok());
+  int matches = 0;
+  for (const auto& row : t.rows()) {
+    auto b = (*expr)->EvaluatesTrue(row, t.schema());
+    ASSERT_TRUE(b.ok());
+    matches += *b ? 1 : 0;
+  }
+  EXPECT_EQ(matches, 3);
+}
+
+TEST(ExpressionTest, NullComparisonsAreFalse) {
+  Table t(Schema{Column{"a", ColumnType::kInt64}});
+  ASSERT_TRUE(t.AppendRow(Row{Value::Null()}).ok());
+  auto expr = ParseExpression("a = 0 OR a <> 0");
+  ASSERT_TRUE(expr.ok());
+  auto b = (*expr)->EvaluatesTrue(t.row(0), t.schema());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(*b);
+}
+
+TEST(ExpressionTest, CollectColumnsAndNodeCount) {
+  auto expr = ParseExpression("a = 1 AND (b > 2 OR c LIKE 'x%')");
+  ASSERT_TRUE(expr.ok());
+  std::set<std::string> cols;
+  (*expr)->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::set<std::string>{"a", "b", "c"}));
+  EXPECT_GT((*expr)->NodeCount(), 5u);
+}
+
+// --- SQL parsing ---
+
+TEST(SqlParserTest, FullSelect) {
+  auto stmt = ParseSql(
+      "SELECT city, AVG(rate) AS m, COUNT(*) FROM patients "
+      "WHERE age >= 30 GROUP BY city ORDER BY city LIMIT 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->table, "patients");
+  EXPECT_EQ(stmt->items.size(), 3u);
+  EXPECT_EQ(stmt->items[1].alias, "m");
+  EXPECT_TRUE(stmt->HasAggregates());
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_TRUE(stmt->limit.has_value());
+  EXPECT_EQ(*stmt->limit, 10u);
+}
+
+TEST(SqlParserTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(ParseSql("select * from t where a = 1").ok());
+}
+
+TEST(SqlParserTest, StringEscapes) {
+  auto stmt = ParseSql("SELECT a FROM t WHERE a = 'O''Brien'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_NE(stmt->where, nullptr);
+  EXPECT_NE(stmt->where->ToString().find("O'Brien"), std::string::npos);
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t garbage").ok());
+  EXPECT_FALSE(ParseSql("SELECT SUM(*) FROM t").ok());
+}
+
+TEST(SqlParserTest, ToSqlRoundTrip) {
+  const char* sql =
+      "SELECT city, AVG(rate) AS m FROM p WHERE (age > 30) GROUP BY city";
+  auto stmt = ParseSql(sql);
+  ASSERT_TRUE(stmt.ok());
+  auto stmt2 = ParseSql(stmt->ToSql());
+  ASSERT_TRUE(stmt2.ok()) << stmt->ToSql();
+  EXPECT_EQ(stmt2->items.size(), 2u);
+}
+
+// --- Executor ---
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.PutTable("patients", PatientsFixture());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(ExecutorTest, SelectStar) {
+  Executor ex(&catalog_);
+  auto r = ex.Query("SELECT * FROM patients");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 5u);
+}
+
+TEST_F(ExecutorTest, FilterProjectOrderLimit) {
+  Executor ex(&catalog_);
+  auto r = ex.Query(
+      "SELECT name FROM patients WHERE age >= 40 ORDER BY name DESC LIMIT 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->row(0)[0].AsString(), "eli");
+  EXPECT_EQ(r->row(1)[0].AsString(), "cal");
+}
+
+TEST_F(ExecutorTest, GlobalAggregates) {
+  Executor ex(&catalog_);
+  auto r = ex.Query("SELECT COUNT(*), AVG(age), MIN(rate), MAX(rate), STDDEV(age) "
+                    "FROM patients");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->row(0)[0].AsInt(), 5);
+  EXPECT_NEAR(r->row(0)[1].AsDouble(), 42.8, 1e-9);
+  EXPECT_DOUBLE_EQ(r->row(0)[2].AsDouble(), 0.4);
+  EXPECT_DOUBLE_EQ(r->row(0)[3].AsDouble(), 0.9);
+}
+
+TEST_F(ExecutorTest, GroupBy) {
+  Executor ex(&catalog_);
+  auto r = ex.Query("SELECT city, COUNT(*) AS n FROM patients GROUP BY city "
+                    "ORDER BY city");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->row(0)[0].AsString(), "bern");
+  EXPECT_EQ(r->row(0)[1].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, AggregateOverEmptyInput) {
+  Executor ex(&catalog_);
+  auto r = ex.Query("SELECT COUNT(*) FROM patients WHERE age > 1000");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->row(0)[0].AsInt(), 0);
+}
+
+TEST_F(ExecutorTest, BareColumnNeedsGroupBy) {
+  Executor ex(&catalog_);
+  EXPECT_FALSE(ex.Query("SELECT city, AVG(rate) FROM patients").ok());
+}
+
+TEST_F(ExecutorTest, AliasRenamesOutput) {
+  Executor ex(&catalog_);
+  auto r = ex.Query("SELECT name AS patientName FROM patients LIMIT 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().column(0).name, "patientName");
+}
+
+TEST_F(ExecutorTest, HashJoin) {
+  Table left(Schema{Column{"id", ColumnType::kInt64}, Column{"x", ColumnType::kString}});
+  ASSERT_TRUE(left.AppendRow(Row{Value::Int(1), Value::Str("a")}).ok());
+  ASSERT_TRUE(left.AppendRow(Row{Value::Int(2), Value::Str("b")}).ok());
+  Table right(Schema{Column{"id", ColumnType::kInt64}, Column{"y", ColumnType::kString}});
+  ASSERT_TRUE(right.AppendRow(Row{Value::Int(2), Value::Str("B")}).ok());
+  ASSERT_TRUE(right.AppendRow(Row{Value::Int(2), Value::Str("B2")}).ok());
+  ASSERT_TRUE(right.AppendRow(Row{Value::Int(3), Value::Str("C")}).ok());
+  auto joined = Executor::HashJoin(left, right, "id", "id");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 2u);  // id=2 matches twice
+  EXPECT_TRUE(joined->schema().Contains("r_id"));
+}
+
+TEST_F(ExecutorTest, UnionRequiresSameSchema) {
+  Table a(Schema{Column{"x", ColumnType::kInt64}});
+  Table b(Schema{Column{"y", ColumnType::kInt64}});
+  EXPECT_FALSE(Executor::Union(a, b).ok());
+  auto u = Executor::Union(a, a);
+  ASSERT_TRUE(u.ok());
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  Table t(Schema{Column{"x", ColumnType::kInt64}});
+  for (int i : {1, 2, 2, 3, 1}) {
+    ASSERT_TRUE(t.AppendRow(Row{Value::Int(i)}).ok());
+  }
+  EXPECT_EQ(Executor::Distinct(t).num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, MissingTable) {
+  Executor ex(&catalog_);
+  EXPECT_FALSE(ex.Query("SELECT * FROM nope").ok());
+}
+
+// --- XML bridge ---
+
+TEST(XmlBridgeTest, RoundTrip) {
+  Table t = PatientsFixture();
+  auto node = TableToXml(t, "patients");
+  auto back = XmlToTable(*node);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), t.num_rows());
+  EXPECT_EQ(back->schema(), t.schema());
+  EXPECT_EQ(back->row(2)[1].AsString(), "cal");
+  EXPECT_DOUBLE_EQ(back->row(2)[3].AsDouble(), 0.9);
+}
+
+TEST(XmlBridgeTest, NullsSurvive) {
+  Table t(Schema{Column{"a", ColumnType::kInt64}});
+  ASSERT_TRUE(t.AppendRow(Row{Value::Null()}).ok());
+  auto node = TableToXml(t);
+  auto back = XmlToTable(*node);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->row(0)[0].is_null());
+}
+
+TEST(XmlBridgeTest, RejectsMalformedResult) {
+  auto bad = xml::XmlNode::Element("result");
+  EXPECT_FALSE(XmlToTable(*bad).ok());
+}
+
+}  // namespace
+}  // namespace relational
+}  // namespace piye
+
+namespace piye {
+namespace relational {
+namespace {
+
+// --- Hierarchical-store ingestion (TableFromXmlRecords) ---
+
+TEST(XmlRecordsTest, InfersSchemaAndTypes) {
+  auto doc = xml::Parse(R"(
+    <patients>
+      <patient><pid>P1</pid><age>34</age><score>1.5</score></patient>
+      <patient><pid>P2</pid><age>45</age><score>2</score></patient>
+    </patients>)");
+  ASSERT_TRUE(doc.ok());
+  auto table = TableFromXmlRecords(doc->root());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 2u);
+  ASSERT_EQ(table->schema().num_columns(), 3u);
+  EXPECT_EQ(table->schema().column(0).type, ColumnType::kString);  // pid
+  EXPECT_EQ(table->schema().column(1).type, ColumnType::kInt64);   // age
+  EXPECT_EQ(table->schema().column(2).type, ColumnType::kDouble);  // score (widened)
+  EXPECT_DOUBLE_EQ(table->row(1)[2].AsDouble(), 2.0);
+}
+
+TEST(XmlRecordsTest, MissingFieldsBecomeNull) {
+  auto doc = xml::Parse(R"(
+    <r>
+      <rec><a>1</a><b>x</b></rec>
+      <rec><a>2</a></rec>
+      <rec><b>y</b><c>3.5</c></rec>
+    </r>)");
+  ASSERT_TRUE(doc.ok());
+  auto table = TableFromXmlRecords(doc->root());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().num_columns(), 3u);
+  EXPECT_TRUE(table->row(1)[1].is_null());  // rec 2 lacks b
+  EXPECT_TRUE(table->row(2)[0].is_null());  // rec 3 lacks a
+}
+
+TEST(XmlRecordsTest, MixedTypesWidenToString) {
+  auto doc = xml::Parse(R"(
+    <r><rec><v>12</v></rec><rec><v>twelve</v></rec></r>)");
+  ASSERT_TRUE(doc.ok());
+  auto table = TableFromXmlRecords(doc->root());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().column(0).type, ColumnType::kString);
+  EXPECT_EQ(table->row(0)[0].AsString(), "12");
+}
+
+TEST(XmlRecordsTest, EmptyRootGivesEmptyTable) {
+  auto doc = xml::Parse("<r/>");
+  ASSERT_TRUE(doc.ok());
+  auto table = TableFromXmlRecords(doc->root());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 0u);
+  EXPECT_EQ(table->schema().num_columns(), 0u);
+}
+
+TEST(XmlRecordsTest, DoubleRoundTripIsExact) {
+  // The to_chars wire format preserves doubles bit-for-bit.
+  Table t(Schema{Column{"x", ColumnType::kDouble}});
+  const double values[] = {0.1, 1.0 / 3.0, 83.07, 1e-17, 12345678.90123};
+  for (double v : values) {
+    ASSERT_TRUE(t.AppendRow(Row{Value::Real(v)}).ok());
+  }
+  auto node = TableToXml(t);
+  auto back = XmlToTable(*node);
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(back->row(i)[0].AsDouble(), t.row(i)[0].AsDouble()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace relational
+}  // namespace piye

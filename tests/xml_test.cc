@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "xml/loose_path.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/path.h"
+
+namespace piye {
+namespace xml {
+namespace {
+
+TEST(XmlNodeTest, BuildAndAccess) {
+  auto root = XmlNode::Element("patients");
+  XmlNode* p = root->AddElement("patient");
+  p->SetAttr("id", "7");
+  p->AddElementWithText("dob", "1970-01-02");
+  EXPECT_EQ(root->ChildElements().size(), 1u);
+  EXPECT_EQ(p->ChildText("dob"), "1970-01-02");
+  EXPECT_EQ(*p->GetAttr("id"), "7");
+  EXPECT_FALSE(p->HasAttr("nope"));
+  EXPECT_EQ(root->CountElements(), 3u);
+}
+
+TEST(XmlNodeTest, SetAttrOverwrites) {
+  auto n = XmlNode::Element("a");
+  n->SetAttr("k", "1");
+  n->SetAttr("k", "2");
+  EXPECT_EQ(*n->GetAttr("k"), "2");
+  EXPECT_EQ(n->attrs().size(), 1u);
+  n->RemoveAttr("k");
+  EXPECT_FALSE(n->HasAttr("k"));
+}
+
+TEST(XmlNodeTest, CloneIsDeep) {
+  auto root = XmlNode::Element("r");
+  root->AddElementWithText("c", "v");
+  auto copy = root->Clone();
+  copy->FirstChild("c")->mutable_children().clear();
+  EXPECT_EQ(root->ChildText("c"), "v");
+  EXPECT_EQ(copy->ChildText("c"), "");
+}
+
+TEST(XmlParserTest, ParsesNestedDocument) {
+  const char* text = R"(<?xml version="1.0"?>
+    <!-- comment -->
+    <hospital name="general">
+      <patient id="1"><dob>1970-01-02</dob></patient>
+      <patient id="2"><dob>1980-03-04</dob></patient>
+    </hospital>)";
+  auto doc = Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->root().name(), "hospital");
+  EXPECT_EQ(*doc->root().GetAttr("name"), "general");
+  EXPECT_EQ(doc->root().Children("patient").size(), 2u);
+}
+
+TEST(XmlParserTest, SelfClosingAndEntities) {
+  auto doc = Parse(R"(<a x="1 &amp; 2"><b/><c>&lt;tag&gt;</c></a>)");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(*doc->root().GetAttr("x"), "1 & 2");
+  EXPECT_EQ(doc->root().ChildText("c"), "<tag>");
+}
+
+TEST(XmlParserTest, RejectsMalformed) {
+  EXPECT_FALSE(Parse("<a><b></a>").ok());
+  EXPECT_FALSE(Parse("<a>").ok());
+  EXPECT_FALSE(Parse("<a></a><b></b>").ok());
+  EXPECT_FALSE(Parse("no tags").ok());
+  EXPECT_FALSE(Parse("<a attr=oops></a>").ok());
+}
+
+TEST(XmlParserTest, RoundTrip) {
+  const char* text = R"(<r a="v&quot;q"><c>text &amp; more</c><d/></r>)";
+  auto doc = Parse(text);
+  ASSERT_TRUE(doc.ok());
+  const std::string serialized = Serialize(doc->root(), 2);
+  auto doc2 = Parse(serialized);
+  ASSERT_TRUE(doc2.ok()) << doc2.status().ToString();
+  EXPECT_EQ(doc2->root().ChildText("c"), "text & more");
+  EXPECT_EQ(*doc2->root().GetAttr("a"), "v\"q");
+}
+
+TEST(XmlParserTest, CompactSerialization) {
+  auto doc = Parse("<a><b>x</b></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(Serialize(doc->root(), -1), "<a><b>x</b></a>");
+}
+
+class XmlPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = Parse(R"(
+      <db>
+        <patient id="1"><dob>1970</dob><visit><dob>nested</dob></visit></patient>
+        <patient id="2"><dob>1980</dob></patient>
+        <staff id="3"><dob>1990</dob></staff>
+      </db>)");
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    doc_ = std::move(doc).value();
+  }
+  XmlDocument doc_;
+};
+
+TEST_F(XmlPathTest, ChildAxis) {
+  auto path = XmlPath::Parse("/db/patient/dob");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->Evaluate(doc_.root()).size(), 2u);
+}
+
+TEST_F(XmlPathTest, DescendantAxis) {
+  auto path = XmlPath::Parse("//dob");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->Evaluate(doc_.root()).size(), 4u);
+}
+
+TEST_F(XmlPathTest, DescendantUnderStep) {
+  auto path = XmlPath::Parse("/db/patient//dob");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->Evaluate(doc_.root()).size(), 3u);
+}
+
+TEST_F(XmlPathTest, Wildcard) {
+  auto path = XmlPath::Parse("/db/*");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->Evaluate(doc_.root()).size(), 3u);
+}
+
+TEST_F(XmlPathTest, AttrPredicate) {
+  auto path = XmlPath::Parse("//patient[@id='2']/dob");
+  ASSERT_TRUE(path.ok());
+  auto hits = path->Evaluate(doc_.root());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->InnerText(), "1980");
+}
+
+TEST_F(XmlPathTest, HasAttrPredicate) {
+  auto path = XmlPath::Parse("//*[@id]");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->Evaluate(doc_.root()).size(), 3u);
+}
+
+TEST_F(XmlPathTest, ChildEqPredicate) {
+  auto path = XmlPath::Parse("/db/patient[dob='1970']");
+  ASSERT_TRUE(path.ok());
+  auto hits = path->Evaluate(doc_.root());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(*hits[0]->GetAttr("id"), "1");
+}
+
+TEST_F(XmlPathTest, ParseErrors) {
+  EXPECT_FALSE(XmlPath::Parse("patient/dob").ok());
+  EXPECT_FALSE(XmlPath::Parse("//a[").ok());
+  EXPECT_FALSE(XmlPath::Parse("//a[b=c]").ok());  // unquoted value
+  EXPECT_FALSE(XmlPath::Parse("//").ok());
+}
+
+TEST_F(XmlPathTest, ToStringNormalizes) {
+  auto path = XmlPath::Parse("//patient[@id='2']/dob");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->ToString(), "//patient[@id='2']/dob");
+}
+
+// --- Loose matching ---
+
+TEST(LooseNameMatcherTest, ExactAndCaseInsensitive) {
+  LooseNameMatcher m;
+  EXPECT_DOUBLE_EQ(m.NameSimilarity("dob", "DOB"), 1.0);
+}
+
+TEST(LooseNameMatcherTest, AcronymMatchesExpansion) {
+  LooseNameMatcher m;
+  EXPECT_GE(m.NameSimilarity("dob", "dateOfBirth"), 0.9);
+  EXPECT_GE(m.NameSimilarity("dateOfBirth", "dob"), 0.9);
+}
+
+TEST(LooseNameMatcherTest, SynonymsScoreHigh) {
+  LooseNameMatcher m;
+  m.AddSynonyms({"sex", "gender"});
+  EXPECT_DOUBLE_EQ(m.NameSimilarity("sex", "gender"), 1.0);
+  EXPECT_DOUBLE_EQ(m.NameSimilarity("patientSex", "patientGender"), 1.0);
+}
+
+TEST(LooseNameMatcherTest, UnrelatedScoreLow) {
+  LooseNameMatcher m;
+  EXPECT_LT(m.NameSimilarity("diagnosis", "zip"), 0.5);
+}
+
+TEST(LooseNameMatcherTest, SynonymGroupsMerge) {
+  LooseNameMatcher m;
+  m.AddSynonyms({"dob", "birthdate"});
+  m.AddSynonyms({"birthdate", "birthday"});
+  EXPECT_DOUBLE_EQ(m.NameSimilarity("dob", "birthday"), 1.0);
+}
+
+TEST(LoosePathMatcherTest, FindsApproximateSteps) {
+  auto doc = Parse(R"(
+    <db>
+      <patient><dob>1970</dob></patient>
+      <patient><dob>1980</dob></patient>
+    </db>)");
+  ASSERT_TRUE(doc.ok());
+  auto path = XmlPath::Parse("//patient//dateOfBirth");
+  ASSERT_TRUE(path.ok());
+  LoosePathMatcher matcher((LooseNameMatcher()), 0.7);
+  const auto hits = matcher.Find(*path, doc->root());
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_GE(hits[0].score, 0.9);
+  EXPECT_EQ(hits[0].node->name(), "dob");
+}
+
+TEST(LoosePathMatcherTest, ThresholdFiltersNoise) {
+  auto doc = Parse("<db><zip>12345</zip></db>");
+  ASSERT_TRUE(doc.ok());
+  auto path = XmlPath::Parse("//diagnosis");
+  ASSERT_TRUE(path.ok());
+  LoosePathMatcher matcher((LooseNameMatcher()), 0.7);
+  EXPECT_TRUE(matcher.Find(*path, doc->root()).empty());
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace piye
+
+namespace piye {
+namespace xml {
+namespace {
+
+TEST(LoosePathMatcherTest, PredicatesStayExactUnderLooseNames) {
+  auto doc = Parse(R"(
+    <db>
+      <patient id="1"><dob>1970</dob></patient>
+      <patient id="2"><dob>1980</dob></patient>
+    </db>)");
+  ASSERT_TRUE(doc.ok());
+  auto path = XmlPath::Parse("//patient[@id='2']//dateOfBirth");
+  ASSERT_TRUE(path.ok());
+  LoosePathMatcher matcher((LooseNameMatcher()), 0.7);
+  const auto hits = matcher.Find(*path, doc->root());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].node->InnerText(), "1980");
+}
+
+TEST(LoosePathMatcherTest, ScoreIsMinOverSteps) {
+  auto doc = Parse("<db><patientRec><dob>x</dob></patientRec></db>");
+  ASSERT_TRUE(doc.ok());
+  // "patient" vs "patientRec" scores below 0.95; "dateOfBirth" vs "dob" is
+  // 0.95; the match score is the weakest step.
+  auto path = XmlPath::Parse("//patient/dateOfBirth");
+  ASSERT_TRUE(path.ok());
+  LoosePathMatcher matcher((LooseNameMatcher()), 0.5);
+  const auto hits = matcher.Find(*path, doc->root());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_LT(hits[0].score, 0.95);
+  EXPECT_GE(hits[0].score, 0.5);
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace piye
