@@ -1,0 +1,85 @@
+#include "common/executor.h"
+
+#include <algorithm>
+
+namespace piye {
+
+Executor::Executor(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+size_t Executor::tasks_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_submitted_;
+}
+
+void Executor::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++tasks_submitted_;
+  }
+  cv_.notify_one();
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: destructor-submitted joins rely
+      // on every accepted task eventually running.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void Executor::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers = std::min(n, num_threads() + 1);
+  const size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::future<void>> pending;
+  pending.reserve(workers);
+  // Chunks [1, workers) go to the pool; chunk 0 runs on the caller so a
+  // single-item loop never pays a queue round-trip.
+  for (size_t w = 1; w < workers; ++w) {
+    const size_t begin = w * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pending.push_back(Submit([begin, end, &fn] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  const size_t first_end = std::min(n, chunk);
+  for (size_t i = 0; i < first_end; ++i) fn(i);
+  for (auto& f : pending) f.get();
+}
+
+Executor& Executor::Shared() {
+  static Executor shared(DefaultThreadCount());
+  return shared;
+}
+
+size_t Executor::DefaultThreadCount() {
+  const size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<size_t>(hw == 0 ? 4 : hw, 1, 16);
+}
+
+}  // namespace piye

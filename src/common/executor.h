@@ -1,0 +1,86 @@
+#ifndef PIYE_COMMON_EXECUTOR_H_
+#define PIYE_COMMON_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace piye {
+
+/// Fixed-size thread pool used by the mediation engine to fan query
+/// fragments out across autonomous remote sources, and by benchmarks for
+/// data-parallel loops.
+///
+/// Semantics:
+///  - `Submit` enqueues a task and returns a `std::future` for its result.
+///    Tasks own their captured state; a caller that stops waiting on the
+///    future (e.g. a per-source deadline expired) simply abandons it — the
+///    task still runs to completion on a pool thread and its state is
+///    released afterwards, so nothing dangles.
+///  - The destructor drains the queue and joins every worker, which is what
+///    lets owners (e.g. `MediationEngine`) guarantee that no task outlives
+///    the resources it references: declare the executor *after* those
+///    resources so it is destroyed (joined) first.
+///  - `ParallelFor` is a convenience barrier for index-space loops. It is
+///    not reentrant: calling it from inside a pool task can deadlock.
+class Executor {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit Executor(size_t num_threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Number of tasks submitted over the executor's lifetime.
+  size_t tasks_submitted() const;
+
+  /// Enqueues `fn` and returns a future for its result. `fn` must be
+  /// invocable with no arguments.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs fn(0) .. fn(n-1) across the pool and the calling thread, returning
+  /// only when every index has completed. Work is split into contiguous
+  /// chunks (one per worker plus one for the caller).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// A process-wide pool sized to the hardware, for callers without a
+  /// natural owner for one (benchmarks, ad-hoc tools). Library classes own
+  /// their executors instead so shutdown order stays explicit.
+  static Executor& Shared();
+
+  /// The default worker count: hardware concurrency clamped to [1, 16].
+  static size_t DefaultThreadCount();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  size_t tasks_submitted_ = 0;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace piye
+
+#endif  // PIYE_COMMON_EXECUTOR_H_

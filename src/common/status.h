@@ -23,6 +23,8 @@ enum class StatusCode {
   kOutOfRange,
   kNotImplemented,
   kInternal,
+  kUnavailable,       ///< transient failure of an autonomous remote source
+  kDeadlineExceeded,  ///< a per-source or per-query deadline expired
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -65,12 +67,21 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsPrivacyViolation() const { return code_ == StatusCode::kPrivacyViolation; }
   bool IsPermissionDenied() const { return code_ == StatusCode::kPermissionDenied; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const { return code_ == StatusCode::kDeadlineExceeded; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -153,5 +153,14 @@ std::string Format(const char* fmt, ...) {
   return out;
 }
 
+uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
 }  // namespace strings
 }  // namespace piye

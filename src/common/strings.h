@@ -1,6 +1,7 @@
 #ifndef PIYE_COMMON_STRINGS_H_
 #define PIYE_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -47,6 +48,11 @@ std::vector<std::string> TokenizeIdentifier(std::string_view ident);
 
 /// printf-style formatting into a std::string.
 std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// FNV-1a 64-bit hash — stable across platforms and runs (unlike
+/// std::hash), so it is usable for deriving deterministic per-call RNG
+/// streams from serialized queries.
+uint64_t Fnv1a64(std::string_view s);
 
 }  // namespace strings
 }  // namespace piye

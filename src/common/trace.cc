@@ -1,0 +1,150 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace piye {
+namespace trace {
+
+namespace {
+
+/// Bucket i covers [2^(i-1), 2^i) microseconds, with bucket 0 = [0, 1).
+size_t BucketIndex(double micros) {
+  if (micros < 1.0) return 0;
+  const size_t idx = static_cast<size_t>(std::log2(micros)) + 1;
+  return std::min(idx, Histogram::kBuckets - 1);
+}
+
+double BucketUpperBound(size_t index) {
+  return std::ldexp(1.0, static_cast<int>(index));  // 2^index
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+// --- Trace ---
+
+void Trace::Record(const std::string& stage, double micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timings_.push_back({stage, micros});
+}
+
+std::vector<StageTiming> Trace::timings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timings_;
+}
+
+// --- Histogram ---
+
+void Histogram::Record(double micros) {
+  micros = std::max(micros, 0.0);
+  ++buckets_[BucketIndex(micros)];
+  if (count_ == 0 || micros < min_) min_ = micros;
+  if (micros > max_) max_ = micros;
+  ++count_;
+  sum_ += micros;
+}
+
+double Histogram::PercentileMicros(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(std::ceil(p * count_));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+// --- MetricsRegistry ---
+
+void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::RecordLatency(const std::string& name, double micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latencies_[name].Record(micros);
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+Histogram MetricsRegistry::latency(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latencies_.find(name);
+  return it == latencies_.end() ? Histogram() : it->second;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + std::to_string(value);
+  }
+  out += "}, \"latencies\": {";
+  first = true;
+  for (const auto& [name, hist] : latencies_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": {";
+    out += "\"count\": " + std::to_string(hist.count());
+    out += ", \"sum_micros\": " + FormatDouble(hist.sum_micros());
+    out += ", \"min_micros\": " + FormatDouble(hist.min_micros());
+    out += ", \"max_micros\": " + FormatDouble(hist.max_micros());
+    out += ", \"mean_micros\": " + FormatDouble(hist.mean_micros());
+    out += ", \"p50_micros\": " + FormatDouble(hist.PercentileMicros(0.50));
+    out += ", \"p95_micros\": " + FormatDouble(hist.PercentileMicros(0.95));
+    out += ", \"p99_micros\": " + FormatDouble(hist.PercentileMicros(0.99));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  latencies_.clear();
+}
+
+// --- ScopedSpan ---
+
+ScopedSpan::ScopedSpan(std::string stage, Trace* trace, MetricsRegistry* registry)
+    : stage_(std::move(stage)),
+      trace_(trace),
+      registry_(registry),
+      start_(std::chrono::steady_clock::now()) {}
+
+double ScopedSpan::Stop() {
+  if (stopped_) return 0.0;
+  stopped_ = true;
+  const auto now = std::chrono::steady_clock::now();
+  const double micros =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_).count() /
+      1000.0;
+  if (trace_ != nullptr) trace_->Record(stage_, micros);
+  if (registry_ != nullptr) registry_->RecordLatency("stage." + stage_, micros);
+  return micros;
+}
+
+ScopedSpan::~ScopedSpan() { Stop(); }
+
+}  // namespace trace
+}  // namespace piye

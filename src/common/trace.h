@@ -1,0 +1,118 @@
+#ifndef PIYE_COMMON_TRACE_H_
+#define PIYE_COMMON_TRACE_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace piye {
+namespace trace {
+
+/// One named stage duration of a query, in microseconds. This is the record
+/// the engine reports back per query (previously the ad-hoc
+/// `MediationEngine::StageTiming`); the aggregate view lives in the
+/// `MetricsRegistry` histograms.
+struct StageTiming {
+  std::string stage;
+  double micros = 0.0;
+};
+
+/// Thread-safe per-query span collector. Spans from concurrently executing
+/// per-source tasks land in the same trace; ordering within the trace is
+/// completion order, which is why callers that need a deterministic report
+/// (the engine) record their top-level stages from a single thread.
+class Trace {
+ public:
+  void Record(const std::string& stage, double micros);
+  std::vector<StageTiming> timings() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<StageTiming> timings_;
+};
+
+/// Fixed-bucket latency histogram (power-of-two microsecond buckets). Small
+/// enough to copy out as a snapshot under a registry lock.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(double micros);
+
+  uint64_t count() const { return count_; }
+  double sum_micros() const { return sum_; }
+  double min_micros() const { return count_ == 0 ? 0.0 : min_; }
+  double max_micros() const { return max_; }
+  double mean_micros() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Approximate percentile (p in [0,1]) from the bucket boundaries.
+  double PercentileMicros(double p) const;
+
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Registry of named counters and latency histograms. All operations are
+/// thread-safe; the engine owns one and its concurrent per-source tasks
+/// record into it directly.
+class MetricsRegistry {
+ public:
+  void AddCounter(const std::string& name, uint64_t delta = 1);
+  void RecordLatency(const std::string& name, double micros);
+
+  uint64_t counter(const std::string& name) const;
+  /// Snapshot copy; a never-recorded name yields an empty histogram.
+  Histogram latency(const std::string& name) const;
+
+  /// Dumps every counter and histogram as a JSON object:
+  /// {"counters": {...}, "latencies": {name: {count, sum_micros, min_micros,
+  /// max_micros, mean_micros, p50_micros, p95_micros, p99_micros}}}.
+  std::string ToJson() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, Histogram> latencies_;
+};
+
+/// RAII span over a monotonic (steady) clock — wall-clock timestamps are
+/// never used for durations, so NTP adjustments cannot produce negative
+/// stage timings. On destruction (or explicit `Stop`) the elapsed time is
+/// recorded into the optional per-query `Trace` and the optional
+/// `MetricsRegistry` latency histogram of the same name.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string stage, Trace* trace, MetricsRegistry* registry = nullptr);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span early and returns the elapsed microseconds; the
+  /// destructor then does nothing.
+  double Stop();
+
+ private:
+  std::string stage_;
+  Trace* trace_;
+  MetricsRegistry* registry_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+}  // namespace trace
+}  // namespace piye
+
+#endif  // PIYE_COMMON_TRACE_H_

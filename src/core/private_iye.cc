@@ -1,5 +1,6 @@
 #include "core/private_iye.h"
 
+#include "common/logging.h"
 #include "common/macros.h"
 
 namespace piye {
@@ -11,11 +12,15 @@ PrivateIye::PrivateIye(mediator::MediationEngine::Options options)
 source::RemoteSource* PrivateIye::AddSource(const std::string& owner,
                                             const std::string& table_name,
                                             relational::Table data, uint64_t seed) {
-  owned_sources_.push_back(std::make_unique<source::RemoteSource>(
-      owner, table_name, std::move(data), seed));
-  source::RemoteSource* src = owned_sources_.back().get();
-  engine_.RegisterSource(src);
-  return src;
+  auto src = std::make_unique<source::RemoteSource>(owner, table_name,
+                                                    std::move(data), seed);
+  const Status status = engine_.RegisterSource(src.get());
+  if (!status.ok()) {
+    Logger::Warn("core", "AddSource('" + owner + "') rejected: " + status.ToString());
+    return nullptr;
+  }
+  owned_sources_.push_back(std::move(src));
+  return owned_sources_.back().get();
 }
 
 Status PrivateIye::Initialize(const std::string& shared_key) {
@@ -23,14 +28,28 @@ Status PrivateIye::Initialize(const std::string& shared_key) {
 }
 
 Result<mediator::MediationEngine::IntegratedResult> PrivateIye::Query(
+    const source::PiqlQuery& query, const mediator::QueryOptions& options) {
+  return engine_.Execute(query, options);
+}
+
+Result<mediator::MediationEngine::IntegratedResult> PrivateIye::QueryXml(
+    std::string_view piql_xml, const mediator::QueryOptions& options) {
+  PIYE_ASSIGN_OR_RETURN(source::PiqlQuery query, source::PiqlQuery::Parse(piql_xml));
+  return engine_.Execute(query, options);
+}
+
+Result<mediator::MediationEngine::IntegratedResult> PrivateIye::Query(
     const source::PiqlQuery& query, const std::vector<std::string>& dedup_keys) {
-  return engine_.Execute(query, dedup_keys);
+  mediator::QueryOptions options;
+  options.dedup_keys = dedup_keys;
+  return Query(query, options);
 }
 
 Result<mediator::MediationEngine::IntegratedResult> PrivateIye::QueryXml(
     std::string_view piql_xml, const std::vector<std::string>& dedup_keys) {
-  PIYE_ASSIGN_OR_RETURN(source::PiqlQuery query, source::PiqlQuery::Parse(piql_xml));
-  return engine_.Execute(query, dedup_keys);
+  mediator::QueryOptions options;
+  options.dedup_keys = dedup_keys;
+  return QueryXml(piql_xml, options);
 }
 
 source::RemoteSource* PrivateIye::source(const std::string& owner) {

@@ -28,22 +28,36 @@ class PrivateIye {
   PrivateIye() : PrivateIye(mediator::MediationEngine::Options()) {}
 
   /// Creates, registers, and owns a new remote source; returns a stable
-  /// pointer for policy/RBAC configuration.
+  /// pointer for policy/RBAC configuration. Returns nullptr when the engine
+  /// rejects the registration (duplicate owner, or called after
+  /// Initialize).
   source::RemoteSource* AddSource(const std::string& owner,
                                   const std::string& table_name,
                                   relational::Table data, uint64_t seed = 0);
 
-  /// Registers an externally owned source.
-  void AddExternalSource(source::RemoteSource* src) { engine_.RegisterSource(src); }
+  /// Registers an externally owned source. Fails with kAlreadyExists for a
+  /// duplicate owner and kInvalidArgument after Initialize.
+  Status AddExternalSource(source::RemoteSource* src) {
+    return engine_.RegisterSource(src);
+  }
 
-  /// Generates the mediated schema. Call after all sources are added.
+  /// Generates the mediated schema. Call after all sources are added;
+  /// freezes source registration.
   Status Initialize(const std::string& shared_key = "private-iye");
 
-  /// Runs an integrated PIQL query.
+  /// Runs an integrated PIQL query under the given options (deadlines,
+  /// retries, quorum, dedup keys — see mediator/query_options.h).
   Result<mediator::MediationEngine::IntegratedResult> Query(
-      const source::PiqlQuery& query, const std::vector<std::string>& dedup_keys = {});
+      const source::PiqlQuery& query, const mediator::QueryOptions& options);
 
   /// Parses and runs a PIQL query from its XML text.
+  Result<mediator::MediationEngine::IntegratedResult> QueryXml(
+      std::string_view piql_xml, const mediator::QueryOptions& options);
+
+  /// Back-compat forwarding overloads for the old positional-dedup call
+  /// shape; new code should pass QueryOptions.
+  Result<mediator::MediationEngine::IntegratedResult> Query(
+      const source::PiqlQuery& query, const std::vector<std::string>& dedup_keys = {});
   Result<mediator::MediationEngine::IntegratedResult> QueryXml(
       std::string_view piql_xml, const std::vector<std::string>& dedup_keys = {});
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <future>
+#include <thread>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/macros.h"
@@ -13,35 +16,52 @@ namespace mediator {
 
 namespace {
 
-class StageClock {
- public:
-  explicit StageClock(std::vector<MediationEngine::StageTiming>* out) : out_(out) {
-    last_ = std::chrono::steady_clock::now();
-  }
+constexpr std::chrono::microseconds kRetryBackoffBase{200};
+constexpr std::chrono::microseconds kRetryBackoffCap{5000};
 
-  void Mark(const std::string& stage) {
-    const auto now = std::chrono::steady_clock::now();
-    const double micros =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(now - last_).count() /
-        1000.0;
-    out_->push_back({stage, micros});
-    last_ = now;
-  }
-
- private:
-  std::vector<MediationEngine::StageTiming>* out_;
-  std::chrono::steady_clock::time_point last_;
-};
+/// A deadline of "none" is the steady clock's far future.
+std::chrono::steady_clock::time_point ComputeDeadline(
+    std::chrono::steady_clock::time_point start, uint64_t deadline_ms) {
+  if (deadline_ms == 0) return std::chrono::steady_clock::time_point::max();
+  return start + std::chrono::milliseconds(deadline_ms);
+}
 
 }  // namespace
 
+/// Shared between the waiting Execute call and a pool task. The task owns a
+/// shared_ptr too, so a fragment abandoned on deadline keeps valid state
+/// until the task finishes, after which it is released.
+struct MediationEngine::FragmentOutcome {
+  source::PiqlQuery fragment;
+  Status status = Status::Internal("fragment never ran");
+  source::RemoteSource::FragmentResult result;
+};
+
 MediationEngine::MediationEngine(Options options)
     : options_(options),
-      control_(options.max_combined_loss, options.max_interval_loss) {}
+      control_(options.max_combined_loss, options.max_interval_loss) {
+  if (options_.worker_threads > 0) {
+    executor_ = std::make_unique<Executor>(options_.worker_threads);
+  }
+}
 
-void MediationEngine::RegisterSource(source::RemoteSource* src) {
+Status MediationEngine::RegisterSource(source::RemoteSource* src) {
+  if (src == nullptr) {
+    return Status::InvalidArgument("RegisterSource: source is null");
+  }
+  if (schema_ready_) {
+    return Status::InvalidArgument(
+        "RegisterSource after GenerateMediatedSchema: the mediated schema is "
+        "frozen; build a new engine to add source '" + src->owner() + "'");
+  }
+  for (const auto* existing : sources_) {
+    if (existing->owner() == src->owner()) {
+      return Status::AlreadyExists("a source owned by '" + src->owner() +
+                                   "' is already registered");
+    }
+  }
   sources_.push_back(src);
-  schema_ready_ = false;
+  return Status::OK();
 }
 
 std::vector<std::string> MediationEngine::SourceOwners() const {
@@ -66,153 +86,292 @@ Status MediationEngine::GenerateMediatedSchema(const std::string& shared_key) {
   return Status::OK();
 }
 
+void MediationEngine::RunFragmentWithRetry(
+    const source::RemoteSource* src, const source::PiqlQuery& fragment,
+    const QueryOptions& options, std::chrono::steady_clock::time_point deadline,
+    trace::MetricsRegistry* metrics, FragmentOutcome* outcome) {
+  trace::ScopedSpan span("source-fragment", nullptr, metrics);
+  for (uint32_t attempt = 0;; ++attempt) {
+    metrics->AddCounter("engine.fragment_attempts");
+    auto result = src->ExecuteFragment(fragment);
+    if (result.ok()) {
+      outcome->status = Status::OK();
+      outcome->result = std::move(result).value();
+      metrics->AddCounter("engine.fragments_ok");
+      return;
+    }
+    outcome->status = result.status();
+    // Only transient faults are worth retrying; a privacy refusal or a
+    // malformed fragment will refuse identically every time.
+    if (!result.status().IsUnavailable() || attempt >= options.max_retries) {
+      metrics->AddCounter("engine.fragments_failed");
+      return;
+    }
+    const auto backoff =
+        std::min(kRetryBackoffCap, kRetryBackoffBase * (1u << std::min(attempt, 5u)));
+    if (std::chrono::steady_clock::now() + backoff >= deadline) {
+      metrics->AddCounter("engine.fragments_failed");
+      return;  // the waiter is about to give up on us anyway
+    }
+    metrics->AddCounter("engine.fragment_retries");
+    std::this_thread::sleep_for(backoff);
+  }
+}
+
 Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
-    const source::PiqlQuery& query, const std::vector<std::string>& dedup_keys) {
+    const source::PiqlQuery& query, const QueryOptions& options) {
   if (!schema_ready_) {
     return Status::Internal("GenerateMediatedSchema must run before Execute");
   }
+  metrics_.AddCounter("engine.queries");
+
+  // The transport-authenticated requester overrides the query's self-claim.
+  const source::PiqlQuery* effective_query = &query;
+  source::PiqlQuery reidentified;
+  if (!options.requester.empty() && options.requester != query.requester) {
+    reidentified = query;
+    reidentified.requester = options.requester;
+    effective_query = &reidentified;
+  }
+
   IntegratedResult out;
-  StageClock clock(&out.timings);
+  trace::Trace query_trace;
+  const bool use_warehouse = options_.enable_warehouse && options.allow_warehouse;
 
   // Warehouse lookup (hybrid virtual/materialized querying).
-  const std::string fingerprint = xml::Serialize(*query.ToXml(), /*indent=*/-1);
-  if (options_.enable_warehouse) {
-    auto cached = warehouse_.Get(fingerprint, epoch_, options_.warehouse_max_age);
-    clock.Mark("warehouse-lookup");
-    if (cached.has_value()) {
-      out.table = std::move(*cached);
-      out.from_warehouse = true;
-      return out;
+  const std::string fingerprint =
+      xml::Serialize(*effective_query->ToXml(), /*indent=*/-1);
+  {
+    trace::ScopedSpan span("warehouse-lookup", &query_trace, &metrics_);
+    if (use_warehouse) {
+      auto cached = warehouse_.Get(fingerprint, epoch(), options_.warehouse_max_age);
+      if (cached.has_value()) {
+        span.Stop();
+        out.table = std::move(*cached);
+        out.from_warehouse = true;
+        out.timings = query_trace.timings();
+        metrics_.AddCounter("engine.warehouse_hits");
+        return out;
+      }
     }
-  } else {
-    clock.Mark("warehouse-lookup");
   }
 
   // Sequence-level budget for the requester.
-  if (history_.CumulativeLoss(query.requester) >= options_.max_cumulative_loss) {
-    return Status::PrivacyViolation("requester '" + query.requester +
+  if (history_.CumulativeLoss(effective_query->requester) >=
+      options_.max_cumulative_loss) {
+    return Status::PrivacyViolation("requester '" + effective_query->requester +
                                     "' has exhausted the cumulative loss budget");
   }
 
   // Fragmentation.
   QueryFragmenter fragmenter(&schema_, source::DefaultClinicalNameMatcher());
-  PIYE_ASSIGN_OR_RETURN(QueryFragmenter::FragmentationResult fragments,
-                        fragmenter.Fragment(query, SourceOwners()));
+  QueryFragmenter::FragmentationResult fragments;
+  {
+    trace::ScopedSpan span("fragment", &query_trace, &metrics_);
+    PIYE_ASSIGN_OR_RETURN(fragments,
+                          fragmenter.Fragment(*effective_query, SourceOwners()));
+  }
   out.sources_skipped = fragments.skipped;
-  clock.Mark("fragment");
 
-  // Per-source execution (each runs its full Fig. 2(a) pipeline).
+  // Per-source execution (each runs its full Fig. 2(a) pipeline), fanned out
+  // across the pool when one exists. Outcomes are indexed by fragment order,
+  // so integration below is deterministic however the tasks interleave.
+  struct Dispatch {
+    std::string owner;
+    std::shared_ptr<FragmentOutcome> outcome;
+    std::future<void> done;  // valid only in parallel mode
+  };
+  std::vector<Dispatch> dispatches;
+  {
+    trace::ScopedSpan span("source-execution", &query_trace, &metrics_);
+    const auto fanout_start = std::chrono::steady_clock::now();
+    const auto deadline = ComputeDeadline(fanout_start, options.deadline_ms);
+    for (const auto& frag : fragments.fragments) {
+      const source::RemoteSource* src = nullptr;
+      for (const auto* s : sources_) {
+        if (s->owner() == frag.source) {
+          src = s;
+          break;
+        }
+      }
+      if (src == nullptr) continue;
+      Dispatch d;
+      d.owner = frag.source;
+      d.outcome = std::make_shared<FragmentOutcome>();
+      d.outcome->fragment = frag.query;
+      if (executor_ != nullptr) {
+        auto outcome = d.outcome;  // keep alive even if the waiter gives up
+        d.done = executor_->Submit(
+            [src, outcome, options, deadline, metrics = &metrics_] {
+              RunFragmentWithRetry(src, outcome->fragment, options, deadline,
+                                   metrics, outcome.get());
+            });
+      } else {
+        RunFragmentWithRetry(src, d.outcome->fragment, options, deadline,
+                             &metrics_, d.outcome.get());
+      }
+      dispatches.push_back(std::move(d));
+    }
+
+    for (auto& d : dispatches) {
+      if (!d.done.valid()) continue;  // serial mode: already ran in-line
+      if (options.deadline_ms == 0) {
+        d.done.wait();
+      } else if (d.done.wait_until(deadline) != std::future_status::ready) {
+        // Abandon the fragment: the task still runs to completion on its
+        // pool thread (it owns a shared_ptr to the outcome), but this query
+        // proceeds without it.
+        metrics_.AddCounter("engine.fragments_deadline_exceeded");
+        d.outcome = nullptr;
+        out.sources_skipped[d.owner] =
+            Status::DeadlineExceeded("per-source deadline of " +
+                                     std::to_string(options.deadline_ms) +
+                                     " ms exceeded")
+                .ToString();
+      }
+    }
+  }
+
   struct Answer {
     std::string owner;
     source::RemoteSource::FragmentResult fragment;
   };
   std::vector<Answer> answers;
-  for (const auto& frag : fragments.fragments) {
-    source::RemoteSource* src = nullptr;
-    for (auto* s : sources_) {
-      if (s->owner() == frag.source) {
-        src = s;
-        break;
-      }
-    }
-    if (src == nullptr) continue;
-    auto result = src->ExecuteFragment(frag.query);
-    if (!result.ok()) {
-      if (result.status().IsPrivacyViolation()) {
-        Logger::Info("mediator", "source '" + frag.source + "' refused: " +
-                                     result.status().message());
-      }
-      out.sources_skipped[frag.source] = result.status().ToString();
+  size_t transport_skips = 0;  // unavailable / past-deadline, not refusals
+  for (auto& d : dispatches) {
+    if (d.outcome == nullptr) {  // timed out above
+      ++transport_skips;
       continue;
     }
-    answers.push_back({frag.source, std::move(result).value()});
+    if (!d.outcome->status.ok()) {
+      if (d.outcome->status.IsPrivacyViolation()) {
+        Logger::Info("mediator", "source '" + d.owner + "' refused: " +
+                                     d.outcome->status.message());
+      }
+      if (d.outcome->status.IsUnavailable() ||
+          d.outcome->status.IsDeadlineExceeded()) {
+        ++transport_skips;
+      }
+      out.sources_skipped[d.owner] = d.outcome->status.ToString();
+      continue;
+    }
+    answers.push_back({d.owner, std::move(d.outcome->result)});
   }
-  clock.Mark("source-execution");
+  auto skip_detail = [&out] {
+    std::string detail;
+    for (const auto& [owner, reason] : out.sources_skipped) {
+      detail += " [" + owner + ": " + reason + "]";
+    }
+    return detail;
+  };
   if (answers.empty()) {
+    // Distinguish "everyone refused on privacy grounds" (a verdict) from
+    // "everyone was down or too slow" (a transport failure, retryable).
+    if (!out.sources_skipped.empty() &&
+        transport_skips == out.sources_skipped.size()) {
+      return Status::Unavailable(
+          "no source answered: every relevant source was unavailable or past "
+          "its deadline:" + skip_detail());
+    }
     return Status::PrivacyViolation(
         "no source could serve the query within its privacy constraints");
+  }
+  if (options.min_sources > 1 && answers.size() < options.min_sources) {
+    std::string msg = "quorum not met: " + std::to_string(answers.size()) +
+                      " of the required " + std::to_string(options.min_sources) +
+                      " sources answered";
+    const std::string detail = skip_detail();
+    if (!detail.empty()) msg += ";" + detail;
+    return Status::Unavailable(msg);
   }
 
   // Privacy control: greedily suppress the highest-loss source results until
   // the combined loss passes (the violating source "is notified" — here,
   // recorded in sources_suppressed).
-  std::vector<const xml::XmlNode*> tagged;
-  for (const auto& a : answers) tagged.push_back(a.fragment.xml.get());
   double combined = 0.0;
-  for (;;) {
-    auto check = control_.CheckIntegratedResults(tagged);
-    if (check.ok()) {
-      combined = *check;
-      break;
-    }
-    if (answers.size() <= 1) {
-      HistoryEntry entry;
-      entry.requester = query.requester;
-      entry.purpose = query.purpose;
-      entry.query_text = fingerprint;
-      entry.released = false;
-      history_.Record(std::move(entry));
-      return check.status();
-    }
-    // Drop the answer with the highest tagged loss.
-    size_t worst = 0;
-    double worst_loss = -1.0;
-    for (size_t i = 0; i < answers.size(); ++i) {
-      const double l =
-          source::MetadataTagger::ReadPrivacyLoss(*answers[i].fragment.xml);
-      if (l > worst_loss) {
-        worst_loss = l;
-        worst = i;
-      }
-    }
-    // The paper: violating results are excluded "and the remote source(s)
-    // is notified about the violation" — here, the notification channel is
-    // the log plus the sources_suppressed report.
-    Logger::Warn("mediator", "privacy control suppressed results of '" +
-                                 answers[worst].owner + "' for requester '" +
-                                 query.requester + "': " +
-                                 check.status().message());
-    out.sources_suppressed.push_back(answers[worst].owner);
-    answers.erase(answers.begin() + static_cast<ptrdiff_t>(worst));
-    tagged.clear();
+  {
+    trace::ScopedSpan span("privacy-control", &query_trace, &metrics_);
+    std::vector<const xml::XmlNode*> tagged;
     for (const auto& a : answers) tagged.push_back(a.fragment.xml.get());
+    for (;;) {
+      auto check = control_.CheckIntegratedResults(tagged);
+      if (check.ok()) {
+        combined = *check;
+        break;
+      }
+      if (answers.size() <= 1) {
+        HistoryEntry entry;
+        entry.requester = effective_query->requester;
+        entry.purpose = effective_query->purpose;
+        entry.query_text = fingerprint;
+        entry.released = false;
+        history_.Record(std::move(entry));
+        return check.status();
+      }
+      // Drop the answer with the highest tagged loss.
+      size_t worst = 0;
+      double worst_loss = -1.0;
+      for (size_t i = 0; i < answers.size(); ++i) {
+        const double l =
+            source::MetadataTagger::ReadPrivacyLoss(*answers[i].fragment.xml);
+        if (l > worst_loss) {
+          worst_loss = l;
+          worst = i;
+        }
+      }
+      // The paper: violating results are excluded "and the remote source(s)
+      // is notified about the violation" — here, the notification channel is
+      // the log plus the sources_suppressed report.
+      Logger::Warn("mediator", "privacy control suppressed results of '" +
+                                   answers[worst].owner + "' for requester '" +
+                                   effective_query->requester + "': " +
+                                   check.status().message());
+      out.sources_suppressed.push_back(answers[worst].owner);
+      answers.erase(answers.begin() + static_cast<ptrdiff_t>(worst));
+      tagged.clear();
+      for (const auto& a : answers) tagged.push_back(a.fragment.xml.get());
+    }
   }
-  clock.Mark("privacy-control");
 
   // Integration + private dedup. Dedup keys are requester-facing names, so
   // resolve them loosely to mediated attribute names first.
-  std::vector<std::string> resolved_keys;
-  for (const auto& key : dedup_keys) {
-    auto attr = fragmenter.Resolve(key);
-    resolved_keys.push_back(attr.ok() ? (*attr)->name : key);
+  {
+    trace::ScopedSpan span("integrate", &query_trace, &metrics_);
+    std::vector<std::string> resolved_keys;
+    for (const auto& key : options.dedup_keys) {
+      auto attr = fragmenter.Resolve(key);
+      resolved_keys.push_back(attr.ok() ? (*attr)->name : key);
+    }
+    ResultIntegrator integrator(&schema_);
+    std::vector<ResultIntegrator::SourceResult> source_results;
+    for (const auto& a : answers) {
+      PIYE_ASSIGN_OR_RETURN(ResultIntegrator::SourceResult r,
+                            integrator.FromTaggedXml(*a.fragment.xml));
+      source_results.push_back(std::move(r));
+      out.sources_answered.push_back(a.owner);
+    }
+    PIYE_ASSIGN_OR_RETURN(out.table,
+                          integrator.Integrate(source_results, resolved_keys));
+    out.combined_privacy_loss = combined;
   }
-  ResultIntegrator integrator(&schema_);
-  std::vector<ResultIntegrator::SourceResult> source_results;
-  for (const auto& a : answers) {
-    PIYE_ASSIGN_OR_RETURN(ResultIntegrator::SourceResult r,
-                          integrator.FromTaggedXml(*a.fragment.xml));
-    source_results.push_back(std::move(r));
-    out.sources_answered.push_back(a.owner);
-  }
-  PIYE_ASSIGN_OR_RETURN(out.table,
-                        integrator.Integrate(source_results, resolved_keys));
-  out.combined_privacy_loss = combined;
-  clock.Mark("integrate");
 
   // History + warehouse.
-  HistoryEntry entry;
-  entry.requester = query.requester;
-  entry.purpose = query.purpose;
-  entry.query_text = fingerprint;
-  entry.sources_answered = out.sources_answered;
-  entry.sources_refused = out.sources_suppressed;
-  entry.aggregated_privacy_loss = combined;
-  entry.released = true;
-  history_.Record(std::move(entry));
-  if (options_.enable_warehouse) {
-    warehouse_.Put(fingerprint, out.table, epoch_);
+  {
+    trace::ScopedSpan span("record", &query_trace, &metrics_);
+    HistoryEntry entry;
+    entry.requester = effective_query->requester;
+    entry.purpose = effective_query->purpose;
+    entry.query_text = fingerprint;
+    entry.sources_answered = out.sources_answered;
+    entry.sources_refused = out.sources_suppressed;
+    entry.aggregated_privacy_loss = combined;
+    entry.released = true;
+    history_.Record(std::move(entry));
+    if (use_warehouse) {
+      warehouse_.Put(fingerprint, out.table, epoch());
+    }
   }
-  clock.Mark("record");
+  out.timings = query_trace.timings();
   return out;
 }
 

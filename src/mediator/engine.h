@@ -1,16 +1,21 @@
 #ifndef PIYE_MEDIATOR_ENGINE_H_
 #define PIYE_MEDIATOR_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "match/mediated_schema.h"
 #include "mediator/fragmenter.h"
 #include "mediator/history.h"
 #include "mediator/privacy_control.h"
+#include "mediator/query_options.h"
 #include "mediator/result_integrator.h"
 #include "mediator/warehouse.h"
 #include "source/remote_source.h"
@@ -23,6 +28,20 @@ namespace mediator {
 /// per-source execution (each source runs its own Figure 2(a) pipeline),
 /// result integration with private dedup, privacy control over the
 /// integrated answer, history logging, and hybrid warehousing.
+///
+/// Concurrency model: sources are autonomous remote services, so Execute
+/// fans fragments out across them on a fixed-size thread pool with
+/// per-source deadlines, bounded retry for transient failures, and graceful
+/// degradation — a slow or failing source is reported in `sources_skipped`,
+/// it does not fail the query (unless a `QueryOptions::min_sources` quorum
+/// demands it). Execute itself is safe for concurrent callers: the shared
+/// stores (history, warehouse, privacy control, metrics) are internally
+/// locked, the mediated schema is immutable after initialization, and
+/// `RemoteSource::ExecuteFragment` is safe for concurrent calls. Results
+/// are deterministic regardless of thread count or completion order:
+/// answers are integrated in fragment order and every stochastic stage
+/// draws from per-call seeds, so a parallel run is byte-identical to a
+/// serial one.
 class MediationEngine {
  public:
   struct Options {
@@ -36,51 +55,80 @@ class MediationEngine {
     /// emergencies"); the warehouse is bypassed when false.
     bool enable_warehouse = true;
     uint64_t warehouse_max_age = 1;
+    /// Worker threads for the per-source fan-out. 0 ⇒ serial in-line
+    /// execution (no pool — the pre-concurrency behaviour, also the
+    /// baseline the parallel-mediation benchmark compares against).
+    size_t worker_threads = Executor::DefaultThreadCount();
   };
 
   explicit MediationEngine(Options options);
   MediationEngine() : MediationEngine(Options()) {}
 
   /// Registers a remote source (non-owning; sources outlive the engine).
-  void RegisterSource(source::RemoteSource* src);
+  /// Fails with kAlreadyExists for a duplicate owner and with
+  /// kInvalidArgument for registration after GenerateMediatedSchema — both
+  /// used to be silently accepted and corrupted the mediated schema.
+  Status RegisterSource(source::RemoteSource* src);
   std::vector<std::string> SourceOwners() const;
 
   /// Builds the mediated schema from the sources' privacy-respecting
-  /// sketches. Must be called before Execute.
+  /// sketches. Must be called before Execute; freezes registration.
   Status GenerateMediatedSchema(const std::string& shared_key);
   const match::MediatedSchema& mediated_schema() const { return schema_; }
 
   /// Advances the logical clock (fresh epoch ⇒ warehouse entries age).
-  void AdvanceEpoch() { ++epoch_; }
-  uint64_t epoch() const { return epoch_; }
+  void AdvanceEpoch() { epoch_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
-  struct StageTiming {
-    std::string stage;
-    double micros = 0.0;
-  };
+  /// Per-stage timing record of one query (see common/trace.h).
+  using StageTiming = trace::StageTiming;
 
   struct IntegratedResult {
     relational::Table table;
     double combined_privacy_loss = 0.0;
     bool from_warehouse = false;
     std::vector<std::string> sources_answered;
-    /// owner -> reason (could not serve the fragment).
+    /// owner -> reason (could not serve the fragment: no mapped attributes,
+    /// privacy refusal, transient failure after retries, or deadline).
     std::map<std::string, std::string> sources_skipped;
     /// owners whose results privacy control excluded from the answer.
     std::vector<std::string> sources_suppressed;
     std::vector<StageTiming> timings;
   };
 
-  /// Runs one integrated query. `dedup_keys` names mediated attributes used
-  /// for PSI-style duplicate elimination (empty ⇒ whole-row distinct).
+  /// Runs one integrated query under the given options.
   Result<IntegratedResult> Execute(const source::PiqlQuery& query,
-                                   const std::vector<std::string>& dedup_keys = {});
+                                   const QueryOptions& options);
+
+  /// Back-compat forwarding overload for the old positional-dedup call
+  /// shape; new code should pass QueryOptions.
+  Result<IntegratedResult> Execute(const source::PiqlQuery& query,
+                                   const std::vector<std::string>& dedup_keys = {}) {
+    QueryOptions options;
+    options.dedup_keys = dedup_keys;
+    return Execute(query, options);
+  }
 
   QueryHistory* history() { return &history_; }
   Warehouse* warehouse() { return &warehouse_; }
   PrivacyControl* control() { return &control_; }
 
+  /// Engine-lifetime counters and per-stage latency histograms (queries
+  /// executed, fragments dispatched/retried/timed out, …), dumpable as
+  /// JSON via trace::MetricsRegistry::ToJson.
+  trace::MetricsRegistry* metrics() { return &metrics_; }
+
  private:
+  struct FragmentOutcome;
+
+  /// Runs one fragment against its source with bounded retry/backoff.
+  static void RunFragmentWithRetry(const source::RemoteSource* src,
+                                   const source::PiqlQuery& fragment,
+                                   const QueryOptions& options,
+                                   std::chrono::steady_clock::time_point deadline,
+                                   trace::MetricsRegistry* metrics,
+                                   FragmentOutcome* outcome);
+
   Options options_;
   std::vector<source::RemoteSource*> sources_;
   match::MediatedSchema schema_;
@@ -88,7 +136,12 @@ class MediationEngine {
   QueryHistory history_;
   Warehouse warehouse_;
   PrivacyControl control_;
-  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> epoch_{0};
+  trace::MetricsRegistry metrics_;
+  /// Declared last: destroyed (joined) first, so in-flight fragment tasks
+  /// finish before any other engine state is torn down. Null when
+  /// options_.worker_threads == 0 (serial mode).
+  std::unique_ptr<Executor> executor_;
 };
 
 }  // namespace mediator

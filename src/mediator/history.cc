@@ -4,6 +4,7 @@ namespace piye {
 namespace mediator {
 
 size_t QueryHistory::Record(HistoryEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
   entry.sequence_number = entries_.size();
   if (entry.released) {
     cumulative_loss_[entry.requester] += entry.aggregated_privacy_loss;
@@ -12,16 +13,23 @@ size_t QueryHistory::Record(HistoryEntry entry) {
   return entries_.back().sequence_number;
 }
 
+std::vector<HistoryEntry> QueryHistory::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
 double QueryHistory::CumulativeLoss(const std::string& requester) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cumulative_loss_.find(requester);
   return it == cumulative_loss_.end() ? 0.0 : it->second;
 }
 
-std::vector<const HistoryEntry*> QueryHistory::ForRequester(
+std::vector<HistoryEntry> QueryHistory::ForRequester(
     const std::string& requester) const {
-  std::vector<const HistoryEntry*> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistoryEntry> out;
   for (const auto& e : entries_) {
-    if (e.requester == requester) out.push_back(&e);
+    if (e.requester == requester) out.push_back(e);
   }
   return out;
 }

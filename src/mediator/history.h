@@ -2,6 +2,7 @@
 #define PIYE_MEDIATOR_HISTORY_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,23 +24,36 @@ struct HistoryEntry {
 };
 
 /// Append-only log with per-requester cumulative loss accounting.
+///
+/// Record / CumulativeLoss / size / ForRequester are safe against concurrent
+/// `MediationEngine::Execute` calls. `entries()` hands out a reference into
+/// the log for zero-copy inspection and is only safe once the engine is
+/// quiescent (entries are never removed, but the vector may reallocate while
+/// queries run); concurrent readers should use `ForRequester` or `Snapshot`.
 class QueryHistory {
  public:
   /// Appends and returns the assigned sequence number.
   size_t Record(HistoryEntry entry);
 
   const std::vector<HistoryEntry>& entries() const { return entries_; }
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  /// Copy of the full log, taken under the lock.
+  std::vector<HistoryEntry> Snapshot() const;
 
   /// Sum of released aggregated losses for a requester across the history —
   /// the crude sequence-level budget the privacy control enforces on top of
   /// the per-query checks.
   double CumulativeLoss(const std::string& requester) const;
 
-  /// Entries issued by one requester.
-  std::vector<const HistoryEntry*> ForRequester(const std::string& requester) const;
+  /// Entries issued by one requester (copies, so safe under concurrency).
+  std::vector<HistoryEntry> ForRequester(const std::string& requester) const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<HistoryEntry> entries_;
   std::map<std::string, double> cumulative_loss_;
 };

@@ -83,16 +83,19 @@ Result<double> PrivacyControl::CheckIntegratedResults(
 
 size_t PrivacyControl::RegisterSensitiveCell(const std::string& name, double lo,
                                              double hi, double true_value) {
+  std::lock_guard<std::mutex> lock(mu_);
   return auditor_.AddSensitiveValue(name, lo, hi, true_value);
 }
 
 Result<double> PrivacyControl::ApproveMeanDisclosure(const std::vector<size_t>& cells,
                                                      double tol) {
+  std::lock_guard<std::mutex> lock(mu_);
   return auditor_.DiscloseMean(cells, tol);
 }
 
 Result<double> PrivacyControl::ApproveStdDevDisclosure(
     const std::vector<size_t>& cells, double tol) {
+  std::lock_guard<std::mutex> lock(mu_);
   return auditor_.DiscloseStdDev(cells, tol);
 }
 

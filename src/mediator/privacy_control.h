@@ -1,6 +1,7 @@
 #ifndef PIYE_MEDIATOR_PRIVACY_CONTROL_H_
 #define PIYE_MEDIATOR_PRIVACY_CONTROL_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,10 @@ namespace mediator {
 ///     of Figure 1 across the whole history and refuses any release that
 ///     would narrow some cell's interval beyond the threshold — this is the
 ///     defense the fig1-defense benchmark exercises.
+///
+/// The inference-audit state (the sequence auditor's committed disclosures)
+/// is internally locked, so concurrent `MediationEngine::Execute` callers
+/// can share one control. `CheckIntegratedResults` is pure.
 class PrivacyControl {
  public:
   PrivacyControl(double max_combined_loss, double max_interval_loss)
@@ -48,11 +53,13 @@ class PrivacyControl {
   Result<double> ApproveMeanDisclosure(const std::vector<size_t>& cells, double tol);
   Result<double> ApproveStdDevDisclosure(const std::vector<size_t>& cells, double tol);
 
+  /// Unlocked view for inspection; callers must not race it with Approve*.
   const inference::SequenceAuditor& auditor() const { return auditor_; }
   double max_combined_loss() const { return max_combined_loss_; }
 
  private:
   double max_combined_loss_;
+  mutable std::mutex mu_;
   inference::SequenceAuditor auditor_;
 };
 

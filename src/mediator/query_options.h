@@ -1,0 +1,51 @@
+#ifndef PIYE_MEDIATOR_QUERY_OPTIONS_H_
+#define PIYE_MEDIATOR_QUERY_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace piye {
+namespace mediator {
+
+/// Per-query execution options for `MediationEngine::Execute` (and the
+/// `PrivateIye::Query*` facades). This replaces the old positional
+/// `dedup_keys` default argument: everything a requester can tune about one
+/// integrated query lives here, so adding a knob no longer grows every
+/// signature in the call chain.
+struct QueryOptions {
+  /// Mediated attribute names used for PSI-style duplicate elimination
+  /// (empty ⇒ whole-row distinct).
+  std::vector<std::string> dedup_keys;
+
+  /// Overrides the requester identity carried inside the PIQL query when
+  /// non-empty — for deployments where the transport authenticates the
+  /// caller and the query text is not trusted to self-identify.
+  std::string requester;
+
+  /// Per-source deadline in milliseconds, measured from fan-out start. A
+  /// source that has not answered in time lands in `sources_skipped` with a
+  /// DeadlineExceeded reason. 0 ⇒ no deadline.
+  uint64_t deadline_ms = 0;
+
+  /// Bounded retry for *transient* (kUnavailable) source failures, with
+  /// exponential backoff between attempts. Privacy refusals are never
+  /// retried — a policy decision is deterministic, not transient.
+  uint32_t max_retries = 0;
+
+  /// Quorum: fail the whole query (kUnavailable) unless at least this many
+  /// sources contributed answers. 0 or 1 ⇒ any non-empty answer set is
+  /// accepted (the engine's original graceful-degradation behaviour).
+  size_t min_sources = 0;
+
+  /// Per-query opt-out from the materialized warehouse (both lookup and
+  /// population) even when the engine enables it — for requesters that need
+  /// a live answer.
+  bool allow_warehouse = true;
+};
+
+}  // namespace mediator
+}  // namespace piye
+
+#endif  // PIYE_MEDIATOR_QUERY_OPTIONS_H_

@@ -5,12 +5,14 @@ namespace mediator {
 
 void Warehouse::Put(const std::string& fingerprint, relational::Table table,
                     uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.insert_or_assign(fingerprint, Entry{std::move(table), epoch});
 }
 
 std::optional<relational::Table> Warehouse::Get(const std::string& fingerprint,
                                                 uint64_t current_epoch,
                                                 uint64_t max_age) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) {
     ++misses_;
@@ -27,6 +29,7 @@ std::optional<relational::Table> Warehouse::Get(const std::string& fingerprint,
 }
 
 void Warehouse::EvictOlderThan(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.epoch < epoch) {
       it = entries_.erase(it);

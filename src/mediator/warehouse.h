@@ -2,6 +2,7 @@
 #define PIYE_MEDIATOR_WAREHOUSE_H_
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -14,7 +15,8 @@ namespace mediator {
 /// virtual-querying design (Section 5: the hybrid is chosen "due to the
 /// quick-response needed during emergency situations"). Integrated results
 /// are cached under their query fingerprint with a logical epoch; a lookup
-/// specifies how stale an answer it will accept.
+/// specifies how stale an answer it will accept. All operations are
+/// internally locked, for concurrent `MediationEngine::Execute` callers.
 class Warehouse {
  public:
   /// Stores (replacing) a materialized result at the given logical epoch.
@@ -28,15 +30,25 @@ class Warehouse {
   /// Drops everything older than the epoch horizon.
   void EvictOlderThan(uint64_t epoch);
 
-  size_t size() const { return entries_.size(); }
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  size_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  size_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
   struct Entry {
     relational::Table table;
     uint64_t epoch;
   };
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
   mutable size_t hits_ = 0;
   mutable size_t misses_ = 0;

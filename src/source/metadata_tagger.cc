@@ -24,15 +24,18 @@ void MetadataTagger::Tag(
   if (schema == nullptr) return;
   for (auto& child : schema->mutable_children()) {
     if (!child->is_element() || child->name() != "column") continue;
-    const std::string* name = child->GetAttr("name");
-    if (name == nullptr) continue;
-    auto it = column_forms.find(*name);
+    const std::string* name_ptr = child->GetAttr("name");
+    if (name_ptr == nullptr) continue;
+    // Copy: SetAttr below may grow the attribute vector and invalidate the
+    // pointer GetAttr returned.
+    const std::string name = *name_ptr;
+    auto it = column_forms.find(name);
     if (it != column_forms.end()) {
       child->SetAttr("form", policy::DisclosureFormToString(it->second));
       child->SetAttr("loss",
                      strings::Format("%g", LossComputation::FormWeight(it->second)));
     }
-    auto budget = column_budgets.find(*name);
+    auto budget = column_budgets.find(name);
     if (budget != column_budgets.end()) {
       child->SetAttr("budget", strings::Format("%g", budget->second));
     }

@@ -1,8 +1,11 @@
 #include "source/remote_source.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/macros.h"
+#include "common/strings.h"
 #include "relational/xml_bridge.h"
 #include "statdb/sampling.h"
 #include "xml/parser.h"
@@ -28,7 +31,7 @@ RemoteSource::RemoteSource(std::string owner, std::string table_name,
     : owner_(std::move(owner)),
       table_name_(std::move(table_name)),
       transformer_(DefaultClinicalNameMatcher()),
-      rng_(seed ^ 0xBF58476D1CE4E5B9ULL),
+      perturb_seed_(seed ^ 0xBF58476D1CE4E5B9ULL),
       rsq_seed_(seed ^ 0x94D049BB133111EBULL) {
   catalog_.PutTable(table_name_, std::move(data));
   clusters_ = ClusterStore::Default();
@@ -70,7 +73,28 @@ Result<relational::Table> RemoteSource::EffectiveTable() const {
 }
 
 Result<RemoteSource::FragmentResult> RemoteSource::ExecuteFragment(
-    const PiqlQuery& fragment) {
+    const PiqlQuery& fragment) const {
+  // (F) Fault injection, when configured: the source misbehaves the way an
+  // autonomous federated service does — slow, transiently failing, or hung.
+  if (faults_.latency_micros > 0 || faults_.error_rate > 0.0 ||
+      faults_.drop_rate > 0.0) {
+    if (faults_.latency_micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(faults_.latency_micros));
+    }
+    const uint64_t call = fault_calls_.fetch_add(1, std::memory_order_relaxed);
+    Rng fault_rng(faults_.seed ^ (call * 0x9E3779B97F4A7C15ULL) ^
+                  0xD1B54A32D192ED03ULL);
+    if (fault_rng.NextBernoulli(faults_.drop_rate)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(faults_.hang_micros));
+      return Status::Unavailable("injected drop: source '" + owner_ +
+                                 "' hung past its deadline");
+    }
+    if (fault_rng.NextBernoulli(faults_.error_rate)) {
+      return Status::Unavailable("injected fault: source '" + owner_ +
+                                 "' failed transiently");
+    }
+  }
+
   // (0) Privacy views define what exists at all.
   PIYE_ASSIGN_OR_RETURN(relational::Table effective, EffectiveTable());
   const relational::Table* base = &effective;
@@ -183,10 +207,16 @@ Result<RemoteSource::FragmentResult> RemoteSource::ExecuteFragment(
     PIYE_ASSIGN_OR_RETURN(result, executor.Execute(rewritten.stmt));
   }
 
-  // (7) Privacy preservation on the results.
+  // (7) Privacy preservation on the results. The RNG stream is derived per
+  // call from (source seed, serialized fragment): concurrent fragments never
+  // contend on generator state, results are independent of execution order,
+  // and re-asking the same fragment reproduces the identical perturbation
+  // (no averaging attack across retries or repeats).
+  Rng call_rng(perturb_seed_ ^
+               strings::Fnv1a64(xml::Serialize(*fragment.ToXml(), /*indent=*/-1)));
   PIYE_ASSIGN_OR_RETURN(
       result, preservation_.Apply(std::move(result), rewritten.column_forms,
-                                  rewritten.loss_budget, out.techniques, &rng_));
+                                  rewritten.loss_budget, out.techniques, &call_rng));
 
   // (8) XML Transformer + (9) Metadata Tagger.
   out.xml = relational::TableToXml(result, table_name_);

@@ -1,6 +1,7 @@
 #ifndef PIYE_SOURCE_REMOTE_SOURCE_H_
 #define PIYE_SOURCE_REMOTE_SOURCE_H_
 
+#include <atomic>
 #include <memory>
 #include <set>
 #include <string>
@@ -59,6 +60,25 @@ class RemoteSource {
   }
   void set_name_matcher(xml::LooseNameMatcher matcher);
 
+  /// Seeded fault injection for testing and benchmarking the mediation
+  /// engine's degradation behaviour against a misbehaving autonomous
+  /// source. Faults apply per `ExecuteFragment` call: every call first
+  /// sleeps `latency_micros`; then, with probability `error_rate`, fails
+  /// with `kUnavailable` (a transient fault the engine may retry); with
+  /// probability `drop_rate`, simulates a hang — sleeping `hang_micros`
+  /// before failing, long enough to trip any realistic per-source deadline.
+  /// Decisions are drawn from an RNG stream seeded by `seed` and a per-call
+  /// counter, so a given source misbehaves reproducibly in call order.
+  struct FaultInjection {
+    uint64_t latency_micros = 0;
+    double error_rate = 0.0;
+    double drop_rate = 0.0;
+    uint64_t hang_micros = 50'000;
+    uint64_t seed = 0;
+  };
+  void set_fault_injection(const FaultInjection& faults) { faults_ = faults; }
+  const FaultInjection& fault_injection() const { return faults_; }
+
   /// Marks a column whose *name* is itself sensitive: it still participates
   /// in mediated-schema generation (via instance sketches) but is exported
   /// under a salted hash tag, so the mediated schema stays partial
@@ -83,7 +103,15 @@ class RemoteSource {
   /// Runs the full pipeline: privacy view → transform → rewrite →
   /// cluster-match → loss → optimize → (query-set restriction) → execute →
   /// preserve → serialize → tag.
-  Result<FragmentResult> ExecuteFragment(const PiqlQuery& fragment);
+  ///
+  /// Safe for concurrent callers: the pipeline stages are all const over
+  /// the source's configuration, and stochastic preservation draws from a
+  /// per-call RNG stream derived from the source seed and the fragment's
+  /// serialized content rather than shared mutable generator state. That
+  /// derivation also means re-asking the *same* fragment reproduces the
+  /// same perturbation — averaging repeated answers gains an attacker
+  /// nothing (the same property Denning's random-sample queries rely on).
+  Result<FragmentResult> ExecuteFragment(const PiqlQuery& fragment) const;
 
   /// The table the pipeline actually sees: the raw table filtered through
   /// every privacy view registered for it (the Section 3 privacy-view
@@ -111,8 +139,12 @@ class RemoteSource {
   ClusterStore clusters_;
   PreservationModule preservation_;
   QueryTransformer transformer_;
-  Rng rng_;
+  uint64_t perturb_seed_;
   uint64_t rsq_seed_;
+  FaultInjection faults_;
+  /// Per-call fault-decision counter (the only mutable state ExecuteFragment
+  /// touches; atomic so concurrent callers draw distinct fault decisions).
+  mutable std::atomic<uint64_t> fault_calls_{0};
 };
 
 /// The default clinical-domain synonym dictionary used by the examples and
