@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# The repo's CI entry point: a plain release-ish build with the full test
+# suite, then the same suite under AddressSanitizer (PIYE_SANITIZE=address).
+# The sanitizer leg matters for the durability layer — the WAL/recovery code
+# paths shuffle raw buffers and file descriptors, exactly where ASan earns
+# its keep. Usage:
+#
+#   scripts/ci.sh              # build + ctest + ASan build + ctest
+#   PIYE_CI_SKIP_ASAN=1 scripts/ci.sh   # quick leg only
+#
+# Exits non-zero on any build failure, test failure, or sanitizer report.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc)"
+
+echo "=== [1/2] build + test ==="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+
+if [[ "${PIYE_CI_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "=== [2/2] ASan leg skipped (PIYE_CI_SKIP_ASAN=1) ==="
+  exit 0
+fi
+
+echo "=== [2/2] AddressSanitizer build + test ==="
+# halt_on_error makes a sanitizer report fail the test that produced it;
+# leak detection stays off to match scripts/sanitize.sh (ptrace is often
+# unavailable in CI containers).
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=0}"
+cmake -B "$ROOT/build-addresssan" -S "$ROOT" -DPIYE_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$ROOT/build-addresssan" -j "$JOBS"
+ctest --test-dir "$ROOT/build-addresssan" --output-on-failure -j "$JOBS"
+
+echo "=== CI green ==="

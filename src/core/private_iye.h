@@ -45,6 +45,11 @@ class PrivateIye {
   /// freezes source registration.
   Status Initialize(const std::string& shared_key = "private-iye");
 
+  /// Attaches a durability directory to the mediation engine and restores
+  /// any crash-surviving state from it (see MediationEngine::Recover). Call
+  /// once at startup, before the first query.
+  Status Recover(const std::string& dir) { return engine_.Recover(dir); }
+
   /// Runs an integrated PIQL query under the given options (deadlines,
   /// retries, quorum, dedup keys — see mediator/query_options.h).
   Result<mediator::MediationEngine::IntegratedResult> Query(

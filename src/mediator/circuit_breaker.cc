@@ -1,0 +1,100 @@
+#include "mediator/circuit_breaker.h"
+
+namespace piye {
+namespace mediator {
+
+const char* CircuitBreaker::StateName(State s) {
+  switch (s) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+void CircuitBreaker::OpenLocked(std::chrono::steady_clock::time_point now) {
+  state_ = State::kOpen;
+  open_until_ = now + std::chrono::milliseconds(config_.open_cooldown_ms);
+  probe_in_flight_ = false;
+  probe_successes_ = 0;
+  ++opened_total_;
+  if (metrics_ != nullptr) metrics_->AddCounter("engine.breaker_opened");
+}
+
+bool CircuitBreaker::Admit(std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now < open_until_) {
+        ++shed_total_;
+        if (metrics_ != nullptr) metrics_->AddCounter("engine.breaker_shed");
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_successes_ = 0;
+      probe_in_flight_ = true;
+      if (metrics_ != nullptr) metrics_->AddCounter("engine.breaker_half_open_probes");
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        ++shed_total_;
+        if (metrics_ != nullptr) metrics_->AddCounter("engine.breaker_shed");
+        return false;
+      }
+      probe_in_flight_ = true;
+      if (metrics_ != nullptr) metrics_->AddCounter("engine.breaker_half_open_probes");
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::OnSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    probe_in_flight_ = false;
+    if (++probe_successes_ >= config_.half_open_successes) {
+      state_ = State::kClosed;
+      probe_successes_ = 0;
+      if (metrics_ != nullptr) metrics_->AddCounter("engine.breaker_closed");
+    }
+  }
+}
+
+void CircuitBreaker::OnFailure(std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: the source is still sick; go straight back to open.
+    OpenLocked(now);
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    OpenLocked(now);
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint32_t CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+uint64_t CircuitBreaker::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_total_;
+}
+
+uint64_t CircuitBreaker::opened_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opened_total_;
+}
+
+}  // namespace mediator
+}  // namespace piye

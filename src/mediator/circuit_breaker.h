@@ -1,0 +1,80 @@
+#ifndef PIYE_MEDIATOR_CIRCUIT_BREAKER_H_
+#define PIYE_MEDIATOR_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/trace.h"
+
+namespace piye {
+namespace mediator {
+
+/// Tuning for the per-source circuit breakers (MediationEngine::Options).
+struct CircuitBreakerConfig {
+  /// Consecutive transport failures (kUnavailable after retries, or a
+  /// blown per-source deadline) that open the breaker. Privacy refusals are
+  /// verdicts, not failures — they never trip it.
+  uint32_t failure_threshold = 5;
+  /// How long an open breaker sheds load before letting a probe through.
+  uint64_t open_cooldown_ms = 100;
+  /// Consecutive successful probes required to close again.
+  uint32_t half_open_successes = 1;
+};
+
+/// Per-source circuit breaker, layered over the engine's retry path: where
+/// retry absorbs a *transient* fault inside one query, the breaker protects
+/// queries from a *persistently* failing source. A flapping source would
+/// otherwise burn its retry/backoff and deadline budget on every single
+/// query; once the breaker opens, the source is shed instantly (it lands in
+/// `sources_skipped` without being dialed) until a cooldown passes, then a
+/// half-open probe decides whether it has recovered.
+///
+/// Thread-safe: fragments for the same source may run concurrently, and
+/// pool tasks report outcomes after the waiting query has moved on.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+  static const char* StateName(State s);
+
+  /// `metrics` (optional) receives engine.breaker_* counters.
+  CircuitBreaker(CircuitBreakerConfig config, trace::MetricsRegistry* metrics)
+      : config_(config), metrics_(metrics) {}
+
+  /// Admission decision for one fragment. Closed ⇒ true. Open ⇒ false until
+  /// the cooldown elapses, at which point the breaker half-opens and admits
+  /// a single probe. Half-open ⇒ only the probe slot is admitted; everyone
+  /// else is shed.
+  bool Admit(std::chrono::steady_clock::time_point now);
+
+  /// The admitted fragment's final outcome. Transport failures
+  /// (unavailable / deadline) count toward opening; a success resets the
+  /// failure run and, in half-open, works toward closing.
+  void OnSuccess();
+  void OnFailure(std::chrono::steady_clock::time_point now);
+
+  State state() const;
+  uint32_t consecutive_failures() const;
+  uint64_t shed_total() const;
+  uint64_t opened_total() const;
+
+ private:
+  void OpenLocked(std::chrono::steady_clock::time_point now);
+
+  CircuitBreakerConfig config_;
+  trace::MetricsRegistry* metrics_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  uint32_t probe_successes_ = 0;
+  bool probe_in_flight_ = false;
+  std::chrono::steady_clock::time_point open_until_{};
+  uint64_t shed_total_ = 0;
+  uint64_t opened_total_ = 0;
+};
+
+}  // namespace mediator
+}  // namespace piye
+
+#endif  // PIYE_MEDIATOR_CIRCUIT_BREAKER_H_

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "mediator/persistence.h"
 #include "source/metadata_tagger.h"
 #include "xml/parser.h"
 
@@ -26,20 +27,43 @@ std::chrono::steady_clock::time_point ComputeDeadline(
   return start + std::chrono::milliseconds(deadline_ms);
 }
 
+/// Failures that speak to the source's transport health, as opposed to a
+/// privacy verdict — only these feed the circuit breaker.
+bool IsTransportFailure(const Status& status) {
+  return status.IsUnavailable() || status.IsDeadlineExceeded();
+}
+
 }  // namespace
 
 /// Shared between the waiting Execute call and a pool task. The task owns a
 /// shared_ptr too, so a fragment abandoned on deadline keeps valid state
-/// until the task finishes, after which it is released.
+/// until the task finishes, after which it is released. Exactly one of the
+/// two sides reports the outcome to the breaker (`breaker_reported` race is
+/// settled by atomic exchange): the waiter on abandonment, the task on
+/// completion.
 struct MediationEngine::FragmentOutcome {
   source::PiqlQuery fragment;
   Status status = Status::Internal("fragment never ran");
   source::RemoteSource::FragmentResult result;
+  CircuitBreaker* breaker = nullptr;  ///< null when breakers are off/bypassed
+  std::atomic<bool> breaker_reported{false};
+
+  void ReportToBreaker() {
+    if (breaker == nullptr) return;
+    if (breaker_reported.exchange(true)) return;
+    if (status.ok() || !IsTransportFailure(status)) {
+      // A privacy refusal is a healthy source saying no.
+      breaker->OnSuccess();
+    } else {
+      breaker->OnFailure(std::chrono::steady_clock::now());
+    }
+  }
 };
 
 MediationEngine::MediationEngine(Options options)
     : options_(options),
       control_(options.max_combined_loss, options.max_interval_loss) {
+  warehouse_.set_metrics(&metrics_);
   if (options_.worker_threads > 0) {
     executor_ = std::make_unique<Executor>(options_.worker_threads);
   }
@@ -61,6 +85,8 @@ Status MediationEngine::RegisterSource(source::RemoteSource* src) {
     }
   }
   sources_.push_back(src);
+  breakers_.emplace(src->owner(), std::make_unique<CircuitBreaker>(
+                                      options_.circuit_breaker, &metrics_));
   return Status::OK();
 }
 
@@ -86,6 +112,317 @@ Status MediationEngine::GenerateMediatedSchema(const std::string& shared_key) {
   return Status::OK();
 }
 
+Status MediationEngine::FailClosedStatus() const {
+  return Status::Unavailable(
+      "mediation engine is failing closed: a durability failure means further "
+      "disclosures could go unaccounted; restart the process and Recover");
+}
+
+Status MediationEngine::JournalLocked(RecordType type, const std::string& payload) {
+  if (persist_failed_.load()) return FailClosedStatus();
+  Status status = persist_->Append(static_cast<uint16_t>(type), payload);
+  if (status.ok()) status = options_.sync_wal ? persist_->Sync() : persist_->Flush();
+  if (!status.ok()) {
+    persist_failed_.store(true);
+    metrics_.AddCounter("engine.persist_failures");
+    Logger::Error("mediator",
+                  "journal append failed, failing closed: " + status.ToString());
+    return Status::Unavailable("fail closed: " + status.ToString());
+  }
+  metrics_.AddCounter("engine.wal_records");
+  ++records_since_snapshot_;  // rotation happens on the history-record path
+  return Status::OK();
+}
+
+Status MediationEngine::RotateSnapshotLocked() {
+  DurableState state;
+  state.history = history_.Snapshot();
+  state.cumulative_loss = history_.CumulativeLosses();
+  state.epoch = epoch();
+  state.warehouse = warehouse_.SnapshotEntries();
+  state.cells = control_.SnapshotCells();
+  state.disclosures = control_.SnapshotDisclosures();
+  PIYE_RETURN_NOT_OK(persist_->Rotate(EncodeSnapshot(state)));
+  records_since_snapshot_ = 0;
+  metrics_.AddCounter("engine.snapshots");
+  return Status::OK();
+}
+
+Status MediationEngine::RecordDurably(HistoryEntry entry,
+                                      const relational::Table* warehouse_table,
+                                      const std::string& fingerprint) {
+  if (!persist_attached_.load()) {
+    history_.Record(std::move(entry));
+    if (warehouse_table != nullptr) {
+      warehouse_.Put(fingerprint, *warehouse_table, epoch());
+    }
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  if (persist_failed_.load()) return FailClosedStatus();
+  // Sequence numbers are assigned under persist_mu_, so WAL order and
+  // in-memory order agree and recovery replays exactly what executed.
+  entry.sequence_number = history_.size();
+  HistoryRecord record;
+  record.cumulative_after =
+      history_.CumulativeLoss(entry.requester) +
+      (entry.released ? entry.aggregated_privacy_loss : 0.0);
+  record.entry = entry;
+  Status status = persist_->Append(static_cast<uint16_t>(RecordType::kHistoryEntry),
+                                   EncodeHistoryRecord(record));
+  if (status.ok() && warehouse_table != nullptr) {
+    status = persist_->Append(
+        static_cast<uint16_t>(RecordType::kWarehousePut),
+        EncodeWarehousePutRecord(fingerprint, epoch(), *warehouse_table));
+  }
+  if (status.ok()) status = options_.sync_wal ? persist_->Sync() : persist_->Flush();
+  if (!status.ok()) {
+    persist_failed_.store(true);
+    metrics_.AddCounter("engine.persist_failures");
+    Logger::Error("mediator",
+                  "durability failure, failing closed: " + status.ToString());
+    return Status::Unavailable(
+        "answer withheld (fail closed): the disclosure could not be durably "
+        "recorded: " + status.ToString());
+  }
+  metrics_.AddCounter("engine.wal_records");
+  history_.Record(std::move(entry));
+  if (warehouse_table != nullptr) {
+    warehouse_.Put(fingerprint, *warehouse_table, epoch());
+  }
+  if (options_.snapshot_every_records > 0 &&
+      ++records_since_snapshot_ >= options_.snapshot_every_records) {
+    const Status rotated = RotateSnapshotLocked();
+    if (!rotated.ok()) {
+      // The entry itself is durable in the current generation; a failed
+      // rotation means the disk is sick, so stop accepting work rather than
+      // find out how sick on a later answer.
+      persist_failed_.store(true);
+      metrics_.AddCounter("engine.persist_failures");
+      Logger::Error("mediator", "snapshot rotation failed, failing closed: " +
+                                    rotated.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status MediationEngine::Recover(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  if (persist_ != nullptr) {
+    return Status::InvalidArgument("Recover: persistence is already attached");
+  }
+  if (history_.size() != 0) {
+    return Status::InvalidArgument(
+        "Recover requires a fresh engine (non-empty history)");
+  }
+  persist::StateLog::RecoveredState recovered;
+  PIYE_ASSIGN_OR_RETURN(persist_, persist::StateLog::Open(dir, &recovered));
+
+  DurableState state;
+  if (!recovered.snapshot.empty()) {
+    auto decoded = DecodeSnapshot(recovered.snapshot);
+    if (!decoded.ok()) {
+      // The snapshot passed its checksum but its payload does not parse — a
+      // schema incompatibility, not disk rot. Refusing to start is the only
+      // fail-closed option left.
+      persist_.reset();
+      return decoded.status();
+    }
+    state = std::move(*decoded);
+  }
+
+  std::vector<HistoryEntry> entries = std::move(state.history);
+  std::map<std::string, double> floors = std::move(state.cumulative_loss);
+  uint64_t recovered_epoch = state.epoch;
+  std::map<std::string, Warehouse::SnapshotEntry> materialized;
+  for (auto& w : state.warehouse) {
+    const std::string key = w.fingerprint;
+    materialized[key] = std::move(w);
+  }
+  std::vector<PrivacyControl::SensitiveCellSpec> cells = std::move(state.cells);
+  std::vector<PrivacyControl::DisclosureSpec> disclosures =
+      std::move(state.disclosures);
+
+  size_t replayed = 0;
+  bool replay_clean = recovered.wal_clean;
+  std::string replay_detail = recovered.tail_detail;
+  for (const auto& rec : recovered.records) {
+    Status bad;
+    switch (static_cast<RecordType>(rec.type)) {
+      case RecordType::kHistoryEntry: {
+        auto r = DecodeHistoryRecord(rec.payload);
+        if (!r.ok()) {
+          bad = r.status();
+          break;
+        }
+        double& floor = floors[r->entry.requester];
+        if (r->cumulative_after > floor) floor = r->cumulative_after;
+        entries.push_back(std::move(r->entry));
+        break;
+      }
+      case RecordType::kWarehousePut: {
+        auto r = DecodeWarehousePutRecord(rec.payload);
+        if (!r.ok()) {
+          bad = r.status();
+          break;
+        }
+        const std::string key = r->fingerprint;
+        materialized[key] = std::move(*r);
+        break;
+      }
+      case RecordType::kWarehouseEvict: {
+        auto r = DecodeWarehouseEvictRecord(rec.payload);
+        if (!r.ok()) {
+          bad = r.status();
+          break;
+        }
+        for (auto it = materialized.begin(); it != materialized.end();) {
+          it = it->second.epoch < *r ? materialized.erase(it) : std::next(it);
+        }
+        break;
+      }
+      case RecordType::kEpochAdvance: {
+        auto r = DecodeEpochRecord(rec.payload);
+        if (!r.ok()) {
+          bad = r.status();
+          break;
+        }
+        recovered_epoch = std::max(recovered_epoch, *r);
+        break;
+      }
+      case RecordType::kSensitiveCell: {
+        auto r = DecodeCellRecord(rec.payload);
+        if (!r.ok()) {
+          bad = r.status();
+          break;
+        }
+        cells.push_back(std::move(*r));
+        break;
+      }
+      case RecordType::kDisclosure: {
+        auto r = DecodeDisclosureRecord(rec.payload);
+        if (!r.ok()) {
+          bad = r.status();
+          break;
+        }
+        disclosures.push_back(std::move(*r));
+        break;
+      }
+      default:
+        bad = Status::ParseError("unknown WAL record type " +
+                                 std::to_string(rec.type));
+    }
+    if (!bad.ok()) {
+      // A frame that passed its checksum but fails to decode is treated
+      // exactly like a torn tail: everything from here on is discarded, and
+      // the budget floors already carry the durable losses forward.
+      replay_clean = false;
+      replay_detail = bad.ToString();
+      break;
+    }
+    ++replayed;
+  }
+
+  PIYE_RETURN_NOT_OK(history_.Restore(std::move(entries), floors));
+  epoch_.store(recovered_epoch, std::memory_order_relaxed);
+  for (auto& [fingerprint, entry] : materialized) {
+    warehouse_.Put(fingerprint, std::move(entry.table), entry.epoch);
+  }
+  PIYE_RETURN_NOT_OK(control_.Replay(cells, disclosures));
+
+  persist_attached_.store(true);
+  // Fold the recovered state into a fresh generation: a damaged tail is
+  // healed on disk, and the next restart replays a short WAL instead of an
+  // ever-growing one.
+  PIYE_RETURN_NOT_OK(RotateSnapshotLocked());
+  control_.set_journal([this](const PrivacyControl::JournalEvent& event) {
+    std::lock_guard<std::mutex> journal_lock(persist_mu_);
+    if (event.kind == PrivacyControl::JournalEvent::Kind::kCell) {
+      return JournalLocked(RecordType::kSensitiveCell,
+                           EncodeCellRecord(event.cell));
+    }
+    return JournalLocked(RecordType::kDisclosure,
+                         EncodeDisclosureRecord(event.disclosure));
+  });
+
+  metrics_.AddCounter("engine.recoveries");
+  if (!replay_clean) {
+    metrics_.AddCounter("engine.recovery_tail_discards");
+    Logger::Warn("mediator",
+                 "recovery discarded a damaged log tail: " + replay_detail);
+  }
+  Logger::Info("mediator",
+               "recovered " + std::to_string(history_.size()) +
+                   " history entries from '" + dir + "' (" +
+                   std::to_string(replayed) + " WAL records replayed) at "
+                   "generation " + std::to_string(persist_->generation()));
+  return Status::OK();
+}
+
+Status MediationEngine::ArmPersistKillPoint(persist::KillPoint kill_point,
+                                            uint64_t after_appends) {
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  if (persist_ == nullptr) {
+    return Status::InvalidArgument(
+        "ArmPersistKillPoint: no persistence attached (call Recover first)");
+  }
+  persist_->wal()->ArmKillPoint(kill_point, after_appends);
+  return Status::OK();
+}
+
+void MediationEngine::AdvanceEpoch() {
+  const uint64_t next = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!persist_attached_.load()) return;
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  if (persist_failed_.load()) return;
+  // Recovery takes max(snapshot epoch, journaled epochs), so out-of-order
+  // appends from concurrent advancers are harmless.
+  (void)JournalLocked(RecordType::kEpochAdvance, EncodeEpochRecord(next));
+}
+
+Status MediationEngine::EvictWarehouseOlderThan(uint64_t epoch_horizon) {
+  if (persist_attached_.load()) {
+    std::lock_guard<std::mutex> lock(persist_mu_);
+    PIYE_RETURN_NOT_OK(JournalLocked(RecordType::kWarehouseEvict,
+                                     EncodeWarehouseEvictRecord(epoch_horizon)));
+  }
+  warehouse_.EvictOlderThan(epoch_horizon);
+  return Status::OK();
+}
+
+MediationEngine::HealthReport MediationEngine::Health() const {
+  HealthReport report;
+  report.schema_ready = schema_ready_;
+  report.persistence_ok = !persist_failed_.load();
+  {
+    std::lock_guard<std::mutex> lock(persist_mu_);
+    report.persistence_enabled = persist_ != nullptr;
+    if (persist_ != nullptr) report.wal_generation = persist_->generation();
+  }
+  report.sources_total = sources_.size();
+  for (const auto* src : sources_) {
+    SourceHealth health;
+    health.owner = src->owner();
+    if (!options_.enable_circuit_breakers) {
+      health.breaker_state = "disabled";
+      ++report.sources_admitting;
+    } else {
+      const auto it = breakers_.find(src->owner());
+      const CircuitBreaker* breaker = it->second.get();
+      const CircuitBreaker::State state = breaker->state();
+      health.breaker_state = CircuitBreaker::StateName(state);
+      health.consecutive_failures = breaker->consecutive_failures();
+      health.shed_total = breaker->shed_total();
+      health.opened_total = breaker->opened_total();
+      if (state != CircuitBreaker::State::kOpen) ++report.sources_admitting;
+    }
+    report.sources.push_back(std::move(health));
+  }
+  report.ready = report.schema_ready && report.persistence_ok &&
+                 report.sources_total > 0 && report.sources_admitting > 0;
+  return report;
+}
+
 void MediationEngine::RunFragmentWithRetry(
     const source::RemoteSource* src, const source::PiqlQuery& fragment,
     const QueryOptions& options, std::chrono::steady_clock::time_point deadline,
@@ -98,24 +435,25 @@ void MediationEngine::RunFragmentWithRetry(
       outcome->status = Status::OK();
       outcome->result = std::move(result).value();
       metrics->AddCounter("engine.fragments_ok");
-      return;
+      break;
     }
     outcome->status = result.status();
     // Only transient faults are worth retrying; a privacy refusal or a
     // malformed fragment will refuse identically every time.
     if (!result.status().IsUnavailable() || attempt >= options.max_retries) {
       metrics->AddCounter("engine.fragments_failed");
-      return;
+      break;
     }
     const auto backoff =
         std::min(kRetryBackoffCap, kRetryBackoffBase * (1u << std::min(attempt, 5u)));
     if (std::chrono::steady_clock::now() + backoff >= deadline) {
       metrics->AddCounter("engine.fragments_failed");
-      return;  // the waiter is about to give up on us anyway
+      break;  // the waiter is about to give up on us anyway
     }
     metrics->AddCounter("engine.fragment_retries");
     std::this_thread::sleep_for(backoff);
   }
+  outcome->ReportToBreaker();
 }
 
 Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
@@ -123,6 +461,7 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
   if (!schema_ready_) {
     return Status::Internal("GenerateMediatedSchema must run before Execute");
   }
+  if (persist_failed_.load()) return FailClosedStatus();
   metrics_.AddCounter("engine.queries");
 
   // The transport-authenticated requester overrides the query's self-claim.
@@ -182,6 +521,7 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
     std::future<void> done;  // valid only in parallel mode
   };
   std::vector<Dispatch> dispatches;
+  size_t transport_skips = 0;  // unavailable / past-deadline / shed, not refusals
   {
     trace::ScopedSpan span("source-execution", &query_trace, &metrics_);
     const auto fanout_start = std::chrono::steady_clock::now();
@@ -195,10 +535,27 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
         }
       }
       if (src == nullptr) continue;
+      CircuitBreaker* breaker = nullptr;
+      if (options_.enable_circuit_breakers && !options.bypass_circuit_breaker) {
+        const auto it = breakers_.find(frag.source);
+        if (it != breakers_.end()) breaker = it->second.get();
+      }
+      if (breaker != nullptr &&
+          !breaker->Admit(std::chrono::steady_clock::now())) {
+        // Shed without dialing: the breaker already counted it.
+        ++transport_skips;
+        out.sources_skipped[frag.source] =
+            Status::Unavailable(
+                "circuit breaker open: source shed after repeated transport "
+                "failures")
+                .ToString();
+        continue;
+      }
       Dispatch d;
       d.owner = frag.source;
       d.outcome = std::make_shared<FragmentOutcome>();
       d.outcome->fragment = frag.query;
+      d.outcome->breaker = breaker;
       if (executor_ != nullptr) {
         auto outcome = d.outcome;  // keep alive even if the waiter gives up
         d.done = executor_->Submit(
@@ -220,7 +577,13 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
       } else if (d.done.wait_until(deadline) != std::future_status::ready) {
         // Abandon the fragment: the task still runs to completion on its
         // pool thread (it owns a shared_ptr to the outcome), but this query
-        // proceeds without it.
+        // proceeds without it. From the breaker's point of view the source
+        // blew its deadline — unless the task finishes first and reports a
+        // different outcome (the exchange settles the race).
+        if (d.outcome->breaker != nullptr &&
+            !d.outcome->breaker_reported.exchange(true)) {
+          d.outcome->breaker->OnFailure(std::chrono::steady_clock::now());
+        }
         metrics_.AddCounter("engine.fragments_deadline_exceeded");
         d.outcome = nullptr;
         out.sources_skipped[d.owner] =
@@ -237,7 +600,6 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
     source::RemoteSource::FragmentResult fragment;
   };
   std::vector<Answer> answers;
-  size_t transport_skips = 0;  // unavailable / past-deadline, not refusals
   for (auto& d : dispatches) {
     if (d.outcome == nullptr) {  // timed out above
       ++transport_skips;
@@ -248,8 +610,7 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
         Logger::Info("mediator", "source '" + d.owner + "' refused: " +
                                      d.outcome->status.message());
       }
-      if (d.outcome->status.IsUnavailable() ||
-          d.outcome->status.IsDeadlineExceeded()) {
+      if (IsTransportFailure(d.outcome->status)) {
         ++transport_skips;
       }
       out.sources_skipped[d.owner] = d.outcome->status.ToString();
@@ -266,7 +627,7 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
   };
   if (answers.empty()) {
     // Distinguish "everyone refused on privacy grounds" (a verdict) from
-    // "everyone was down or too slow" (a transport failure, retryable).
+    // "everyone was down, too slow, or shed" (a transport failure, retryable).
     if (!out.sources_skipped.empty() &&
         transport_skips == out.sources_skipped.size()) {
       return Status::Unavailable(
@@ -305,7 +666,9 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
         entry.purpose = effective_query->purpose;
         entry.query_text = fingerprint;
         entry.released = false;
-        history_.Record(std::move(entry));
+        // A refusal is part of the sequence too: it must survive a crash,
+        // or the auditor's view of the history diverges.
+        PIYE_RETURN_NOT_OK(RecordDurably(std::move(entry), nullptr, fingerprint));
         return check.status();
       }
       // Drop the answer with the highest tagged loss.
@@ -355,7 +718,9 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
     out.combined_privacy_loss = combined;
   }
 
-  // History + warehouse.
+  // History + warehouse, behind the durability barrier: in durable mode the
+  // record is on disk before the answer leaves this function, and a failure
+  // to get it there withholds the answer.
   {
     trace::ScopedSpan span("record", &query_trace, &metrics_);
     HistoryEntry entry;
@@ -366,10 +731,9 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
     entry.sources_refused = out.sources_suppressed;
     entry.aggregated_privacy_loss = combined;
     entry.released = true;
-    history_.Record(std::move(entry));
-    if (use_warehouse) {
-      warehouse_.Put(fingerprint, out.table, epoch());
-    }
+    PIYE_RETURN_NOT_OK(RecordDurably(std::move(entry),
+                                     use_warehouse ? &out.table : nullptr,
+                                     fingerprint));
   }
   out.timings = query_trace.timings();
   return out;

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,12 +13,16 @@
 #include "common/result.h"
 #include "common/trace.h"
 #include "match/mediated_schema.h"
+#include "mediator/circuit_breaker.h"
 #include "mediator/fragmenter.h"
 #include "mediator/history.h"
+#include "mediator/persistence.h"
 #include "mediator/privacy_control.h"
 #include "mediator/query_options.h"
 #include "mediator/result_integrator.h"
 #include "mediator/warehouse.h"
+#include "persist/state_log.h"
+#include "persist/wal.h"
 #include "source/remote_source.h"
 
 namespace piye {
@@ -34,14 +39,28 @@ namespace mediator {
 /// per-source deadlines, bounded retry for transient failures, and graceful
 /// degradation — a slow or failing source is reported in `sources_skipped`,
 /// it does not fail the query (unless a `QueryOptions::min_sources` quorum
-/// demands it). Execute itself is safe for concurrent callers: the shared
-/// stores (history, warehouse, privacy control, metrics) are internally
-/// locked, the mediated schema is immutable after initialization, and
+/// demands it). Per-source circuit breakers (when enabled) shed a
+/// persistently failing source outright instead of burning retry and
+/// deadline budget on every query, with half-open probing to readmit it.
+/// Execute itself is safe for concurrent callers: the shared stores
+/// (history, warehouse, privacy control, metrics) are internally locked,
+/// the mediated schema is immutable after initialization, and
 /// `RemoteSource::ExecuteFragment` is safe for concurrent calls. Results
-/// are deterministic regardless of thread count or completion order:
-/// answers are integrated in fragment order and every stochastic stage
-/// draws from per-call seeds, so a parallel run is byte-identical to a
-/// serial one.
+/// are deterministic regardless of thread count or completion order.
+///
+/// Durability model (opt-in via `Recover`): the query history, per-requester
+/// cumulative privacy loss, inference-audit state, warehouse
+/// materializations, and the logical epoch are the engine's *trust anchor* —
+/// the sequence-level Privacy Control of Section 4 is only as strong as this
+/// state's survival across process death. With a persist directory attached,
+/// every release is appended to a checksummed write-ahead log and fsynced
+/// *before* the answer leaves the engine (fail-closed ordering: an answer
+/// whose disclosure cannot be made durable is withheld), periodic snapshots
+/// bound recovery time, and `Recover` reconstructs the state conservatively:
+/// a torn or corrupt WAL tail is discarded with its budget floors held at
+/// the last durable values — a crash can never reset a snooper's budget.
+/// If the durability layer fails mid-flight, the engine fails closed:
+/// subsequent queries are refused rather than served unaccounted.
 class MediationEngine {
  public:
   struct Options {
@@ -59,6 +78,20 @@ class MediationEngine {
     /// execution (no pool — the pre-concurrency behaviour, also the
     /// baseline the parallel-mediation benchmark compares against).
     size_t worker_threads = Executor::DefaultThreadCount();
+    /// Per-source circuit breakers: off by default (pure retry/deadline
+    /// degradation, the PR 1 behaviour); when on, `circuit_breaker` tunes
+    /// the thresholds and `QueryOptions::bypass_circuit_breaker` can exempt
+    /// a single query.
+    bool enable_circuit_breakers = false;
+    CircuitBreakerConfig circuit_breaker;
+    /// Durable mode: history records appended between snapshot rotations
+    /// (smaller ⇒ faster recovery, more snapshot I/O). 0 ⇒ snapshot only
+    /// during Recover.
+    uint64_t snapshot_every_records = 256;
+    /// fsync the WAL before releasing each answer. Turning this off keeps
+    /// the WAL ordering but trades the power-failure guarantee for latency
+    /// (the recovery benchmark measures both).
+    bool sync_wal = true;
   };
 
   explicit MediationEngine(Options options);
@@ -76,9 +109,38 @@ class MediationEngine {
   Status GenerateMediatedSchema(const std::string& shared_key);
   const match::MediatedSchema& mediated_schema() const { return schema_; }
 
+  /// Attaches a durability directory and restores fail-closed state from it
+  /// (no-op state-wise when the directory is fresh). Replays the newest
+  /// valid snapshot plus its WAL — discarding a damaged tail but holding
+  /// every requester's cumulative loss at no less than its last durable
+  /// value — then folds the result into a fresh snapshot generation and
+  /// starts journaling. Must run on a fresh engine (before any Execute);
+  /// call it once per process, at startup.
+  Status Recover(const std::string& dir);
+
+  /// True once Recover attached a directory (the engine journals releases).
+  bool persistence_enabled() const { return persist_attached_.load(); }
+  /// True when the durability layer failed and the engine is failing
+  /// closed (every Execute refused until a new process Recovers).
+  bool persistence_failed() const { return persist_failed_.load(); }
+
+  /// Crash-injection harness: arms a kill-point on the live WAL (see
+  /// persist::KillPoint) that fires on the `after_appends`-th subsequent
+  /// append, simulating process death at exactly that durability step. The
+  /// engine then fails closed; tests rebuild an engine and Recover. Fails
+  /// unless persistence is attached.
+  Status ArmPersistKillPoint(persist::KillPoint kill_point,
+                             uint64_t after_appends = 0);
+
   /// Advances the logical clock (fresh epoch ⇒ warehouse entries age).
-  void AdvanceEpoch() { epoch_.fetch_add(1, std::memory_order_relaxed); }
+  /// Journaled when persistence is attached.
+  void AdvanceEpoch();
   uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  /// Journaled warehouse eviction (prefer this over mutating `warehouse()`
+  /// directly in durable deployments, so the materialized state on disk
+  /// tracks the in-memory store between snapshots).
+  Status EvictWarehouseOlderThan(uint64_t epoch_horizon);
 
   /// Per-stage timing record of one query (see common/trace.h).
   using StageTiming = trace::StageTiming;
@@ -89,7 +151,8 @@ class MediationEngine {
     bool from_warehouse = false;
     std::vector<std::string> sources_answered;
     /// owner -> reason (could not serve the fragment: no mapped attributes,
-    /// privacy refusal, transient failure after retries, or deadline).
+    /// privacy refusal, transient failure after retries, deadline, or a
+    /// circuit breaker shedding the source).
     std::map<std::string, std::string> sources_skipped;
     /// owners whose results privacy control excluded from the answer.
     std::vector<std::string> sources_suppressed;
@@ -109,13 +172,38 @@ class MediationEngine {
     return Execute(query, options);
   }
 
+  /// Health / readiness accounting for load balancers and operators.
+  struct SourceHealth {
+    std::string owner;
+    /// "closed" / "open" / "half-open", or "disabled" without breakers.
+    std::string breaker_state;
+    uint32_t consecutive_failures = 0;
+    uint64_t shed_total = 0;
+    uint64_t opened_total = 0;
+  };
+  struct HealthReport {
+    /// Serving-ready: schema built, durability (if attached) intact, and at
+    /// least one source admitting fragments.
+    bool ready = false;
+    bool schema_ready = false;
+    bool persistence_enabled = false;
+    bool persistence_ok = true;
+    uint64_t wal_generation = 0;
+    size_t sources_total = 0;
+    /// Sources whose breaker would admit a fragment right now.
+    size_t sources_admitting = 0;
+    std::vector<SourceHealth> sources;
+  };
+  HealthReport Health() const;
+
   QueryHistory* history() { return &history_; }
   Warehouse* warehouse() { return &warehouse_; }
   PrivacyControl* control() { return &control_; }
 
   /// Engine-lifetime counters and per-stage latency histograms (queries
-  /// executed, fragments dispatched/retried/timed out, …), dumpable as
-  /// JSON via trace::MetricsRegistry::ToJson.
+  /// executed, fragments dispatched/retried/timed out, breaker and
+  /// warehouse activity, WAL records…), dumpable as JSON via
+  /// trace::MetricsRegistry::ToJson.
   trace::MetricsRegistry* metrics() { return &metrics_; }
 
  private:
@@ -129,6 +217,24 @@ class MediationEngine {
                                    trace::MetricsRegistry* metrics,
                                    FragmentOutcome* outcome);
 
+  /// The fail-closed durability barrier of one release (or refusal): in
+  /// durable mode, appends the history record (and warehouse put) to the
+  /// WAL and makes it durable, then applies it in memory; a durability
+  /// failure withholds the answer and flips the engine into fail-closed
+  /// refusal. In volatile mode, applies in memory directly.
+  Status RecordDurably(HistoryEntry entry, const relational::Table* warehouse_table,
+                       const std::string& fingerprint);
+
+  /// Appends one auxiliary record (epoch/evict/audit) and syncs; marks the
+  /// engine failed on error. Caller must hold persist_mu_.
+  Status JournalLocked(RecordType type, const std::string& payload);
+
+  /// Snapshot of the full in-memory trust anchor into the next generation.
+  /// Caller must hold persist_mu_.
+  Status RotateSnapshotLocked();
+
+  Status FailClosedStatus() const;
+
   Options options_;
   std::vector<source::RemoteSource*> sources_;
   match::MediatedSchema schema_;
@@ -138,6 +244,20 @@ class MediationEngine {
   PrivacyControl control_;
   std::atomic<uint64_t> epoch_{0};
   trace::MetricsRegistry metrics_;
+  /// owner -> breaker; populated at registration, consulted only when
+  /// options_.enable_circuit_breakers (stable addresses: pool tasks report
+  /// outcomes through these pointers after the waiter moved on).
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+
+  /// Durability layer. persist_mu_ serializes WAL appends with their
+  /// in-memory application, so recovery's replay order matches execution
+  /// order; the atomics let hot paths check state without the lock.
+  mutable std::mutex persist_mu_;
+  std::unique_ptr<persist::StateLog> persist_;
+  std::atomic<bool> persist_attached_{false};
+  std::atomic<bool> persist_failed_{false};
+  uint64_t records_since_snapshot_ = 0;  ///< guarded by persist_mu_
+
   /// Declared last: destroyed (joined) first, so in-flight fragment tasks
   /// finish before any other engine state is torn down. Null when
   /// options_.worker_threads == 0 (serial mode).

@@ -24,6 +24,29 @@ double QueryHistory::CumulativeLoss(const std::string& requester) const {
   return it == cumulative_loss_.end() ? 0.0 : it->second;
 }
 
+std::map<std::string, double> QueryHistory::CumulativeLosses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cumulative_loss_;
+}
+
+Status QueryHistory::Restore(std::vector<HistoryEntry> entries,
+                             const std::map<std::string, double>& floors) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entries_.empty()) {
+    return Status::InvalidArgument("QueryHistory::Restore requires an empty history");
+  }
+  entries_ = std::move(entries);
+  cumulative_loss_.clear();
+  for (const auto& e : entries_) {
+    if (e.released) cumulative_loss_[e.requester] += e.aggregated_privacy_loss;
+  }
+  for (const auto& [requester, floor] : floors) {
+    double& loss = cumulative_loss_[requester];
+    if (loss < floor) loss = floor;
+  }
+  return Status::OK();
+}
+
 std::vector<HistoryEntry> QueryHistory::ForRequester(
     const std::string& requester) const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace piye {
 namespace mediator {
 
@@ -25,17 +27,15 @@ struct HistoryEntry {
 
 /// Append-only log with per-requester cumulative loss accounting.
 ///
-/// Record / CumulativeLoss / size / ForRequester are safe against concurrent
-/// `MediationEngine::Execute` calls. `entries()` hands out a reference into
-/// the log for zero-copy inspection and is only safe once the engine is
-/// quiescent (entries are never removed, but the vector may reallocate while
-/// queries run); concurrent readers should use `ForRequester` or `Snapshot`.
+/// All accessors are safe against concurrent `MediationEngine::Execute`
+/// calls: readers get locked copies. (An earlier `entries()` accessor handed
+/// out a bare reference into the log — a reallocation race while queries
+/// ran — and was removed; use `Snapshot` or `ForRequester`.)
 class QueryHistory {
  public:
   /// Appends and returns the assigned sequence number.
   size_t Record(HistoryEntry entry);
 
-  const std::vector<HistoryEntry>& entries() const { return entries_; }
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.size();
@@ -51,6 +51,19 @@ class QueryHistory {
 
   /// Entries issued by one requester (copies, so safe under concurrency).
   std::vector<HistoryEntry> ForRequester(const std::string& requester) const;
+
+  /// Copy of the whole per-requester cumulative-loss map (snapshotting).
+  std::map<std::string, double> CumulativeLosses() const;
+
+  /// Recovery: replaces the log with `entries` (in order, keeping their
+  /// sequence numbers) and recomputes cumulative losses, then raises each
+  /// requester's cumulative loss to at least its `floors` value. The floor
+  /// is the fail-closed invariant of recovery — a requester's budget
+  /// consumption is never reconstructed below the last durably recorded
+  /// value, even if the entries that produced it were lost with a damaged
+  /// log tail. Requires an empty history (a freshly built engine).
+  Status Restore(std::vector<HistoryEntry> entries,
+                 const std::map<std::string, double>& floors);
 
  private:
   mutable std::mutex mu_;

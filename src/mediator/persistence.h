@@ -1,0 +1,78 @@
+#ifndef PIYE_MEDIATOR_PERSISTENCE_H_
+#define PIYE_MEDIATOR_PERSISTENCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mediator/history.h"
+#include "mediator/privacy_control.h"
+#include "mediator/warehouse.h"
+
+namespace piye {
+namespace mediator {
+
+/// The mediation engine's durable-record vocabulary: what gets written to
+/// the persist::StateLog WAL and how the full-state snapshot is encoded.
+/// Framing, checksums, and torn-tail handling live in persist/; this header
+/// is only the (versioned) payload schema.
+///
+/// Fail-closed contract: a `kHistoryEntry` record carries the requester's
+/// cumulative loss *after* the entry, so recovery can hold every budget at
+/// its last durable value even when earlier records are lost to corruption.
+enum class RecordType : uint16_t {
+  kHistoryEntry = 1,
+  kWarehousePut = 2,
+  kWarehouseEvict = 3,
+  kEpochAdvance = 4,
+  kSensitiveCell = 5,
+  kDisclosure = 6,
+};
+
+/// A history entry plus the requester's post-entry cumulative privacy loss.
+struct HistoryRecord {
+  HistoryEntry entry;
+  double cumulative_after = 0.0;
+};
+
+std::string EncodeHistoryRecord(const HistoryRecord& record);
+Result<HistoryRecord> DecodeHistoryRecord(const std::string& payload);
+
+std::string EncodeWarehousePutRecord(const std::string& fingerprint,
+                                     uint64_t epoch,
+                                     const relational::Table& table);
+Result<Warehouse::SnapshotEntry> DecodeWarehousePutRecord(const std::string& payload);
+
+std::string EncodeEpochRecord(uint64_t epoch);
+Result<uint64_t> DecodeEpochRecord(const std::string& payload);
+
+std::string EncodeWarehouseEvictRecord(uint64_t epoch_horizon);
+Result<uint64_t> DecodeWarehouseEvictRecord(const std::string& payload);
+
+std::string EncodeCellRecord(const PrivacyControl::SensitiveCellSpec& cell);
+Result<PrivacyControl::SensitiveCellSpec> DecodeCellRecord(
+    const std::string& payload);
+
+std::string EncodeDisclosureRecord(const PrivacyControl::DisclosureSpec& spec);
+Result<PrivacyControl::DisclosureSpec> DecodeDisclosureRecord(
+    const std::string& payload);
+
+/// Everything a snapshot captures — the engine's whole trust-anchor state.
+struct DurableState {
+  std::vector<HistoryEntry> history;
+  std::map<std::string, double> cumulative_loss;
+  uint64_t epoch = 0;
+  std::vector<Warehouse::SnapshotEntry> warehouse;
+  std::vector<PrivacyControl::SensitiveCellSpec> cells;
+  std::vector<PrivacyControl::DisclosureSpec> disclosures;
+};
+
+std::string EncodeSnapshot(const DurableState& state);
+Result<DurableState> DecodeSnapshot(const std::string& blob);
+
+}  // namespace mediator
+}  // namespace piye
+
+#endif  // PIYE_MEDIATOR_PERSISTENCE_H_

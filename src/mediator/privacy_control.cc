@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <utility>
 
+#include "common/logging.h"
+#include "common/macros.h"
 #include "common/strings.h"
 #include "source/metadata_tagger.h"
 
@@ -83,20 +86,110 @@ Result<double> PrivacyControl::CheckIntegratedResults(
 
 size_t PrivacyControl::RegisterSensitiveCell(const std::string& name, double lo,
                                              double hi, double true_value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return auditor_.AddSensitiveValue(name, lo, hi, true_value);
+  size_t id = 0;
+  Journal journal;
+  JournalEvent event;
+  event.kind = JournalEvent::Kind::kCell;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = auditor_.AddSensitiveValue(name, lo, hi, true_value);
+    cells_.push_back({name, lo, hi, true_value});
+    event.cell = cells_.back();
+    journal = journal_;
+  }
+  if (journal) {
+    const Status status = journal(event);
+    if (!status.ok()) {
+      // Registration discloses nothing, so there is no value to withhold;
+      // the journal hook is responsible for failing the engine closed.
+      Logger::Warn("mediator", "sensitive-cell journal failed: " + status.ToString());
+    }
+  }
+  return id;
+}
+
+Result<double> PrivacyControl::Approve(uint16_t kind,
+                                       const std::vector<size_t>& cells,
+                                       double tol) {
+  double value = 0.0;
+  Journal journal;
+  JournalEvent event;
+  event.kind = JournalEvent::Kind::kDisclosure;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto result = kind == DisclosureSpec::kMean
+                      ? auditor_.DiscloseMean(cells, tol)
+                      : auditor_.DiscloseStdDev(cells, tol);
+    if (!result.ok()) return result;
+    value = *result;
+    DisclosureSpec spec;
+    spec.kind = kind;
+    spec.cells.assign(cells.begin(), cells.end());
+    spec.tol = tol;
+    disclosures_.push_back(spec);
+    event.disclosure = std::move(spec);
+    journal = journal_;
+  }
+  // Journaled outside mu_ (see set_journal). The auditor keeps the committed
+  // — stricter — constraint even when journaling fails and the value is
+  // withheld.
+  if (journal) PIYE_RETURN_NOT_OK(journal(event));
+  return value;
 }
 
 Result<double> PrivacyControl::ApproveMeanDisclosure(const std::vector<size_t>& cells,
                                                      double tol) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return auditor_.DiscloseMean(cells, tol);
+  return Approve(DisclosureSpec::kMean, cells, tol);
 }
 
 Result<double> PrivacyControl::ApproveStdDevDisclosure(
     const std::vector<size_t>& cells, double tol) {
+  return Approve(DisclosureSpec::kStdDev, cells, tol);
+}
+
+void PrivacyControl::set_journal(Journal journal) {
   std::lock_guard<std::mutex> lock(mu_);
-  return auditor_.DiscloseStdDev(cells, tol);
+  journal_ = std::move(journal);
+}
+
+Status PrivacyControl::Replay(const std::vector<SensitiveCellSpec>& cells,
+                              const std::vector<DisclosureSpec>& disclosures) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!cells_.empty() || !disclosures_.empty()) {
+    return Status::InvalidArgument(
+        "PrivacyControl::Replay requires pristine audit state");
+  }
+  for (const auto& cell : cells) {
+    auditor_.AddSensitiveValue(cell.name, cell.lo, cell.hi, cell.true_value);
+    cells_.push_back(cell);
+  }
+  for (const auto& d : disclosures) {
+    std::vector<size_t> ids(d.cells.begin(), d.cells.end());
+    auto result = d.kind == DisclosureSpec::kMean
+                      ? auditor_.DiscloseMean(ids, d.tol)
+                      : auditor_.DiscloseStdDev(ids, d.tol);
+    if (!result.ok()) {
+      // A disclosure that committed before the crash is deterministic, so
+      // this should not happen; if it does, skipping it leaves the auditor
+      // stricter than pre-crash — conservative, so recovery proceeds.
+      Logger::Warn("mediator", "replayed disclosure refused (keeping stricter "
+                               "state): " + result.status().ToString());
+      continue;
+    }
+    disclosures_.push_back(d);
+  }
+  return Status::OK();
+}
+
+std::vector<PrivacyControl::SensitiveCellSpec> PrivacyControl::SnapshotCells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_;
+}
+
+std::vector<PrivacyControl::DisclosureSpec> PrivacyControl::SnapshotDisclosures()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disclosures_;
 }
 
 }  // namespace mediator

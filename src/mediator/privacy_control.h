@@ -1,6 +1,8 @@
 #ifndef PIYE_MEDIATOR_PRIVACY_CONTROL_H_
 #define PIYE_MEDIATOR_PRIVACY_CONTROL_H_
 
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -29,8 +31,40 @@ namespace mediator {
 /// The inference-audit state (the sequence auditor's committed disclosures)
 /// is internally locked, so concurrent `MediationEngine::Execute` callers
 /// can share one control. `CheckIntegratedResults` is pure.
+///
+/// The audit state is part of the mediator's trust anchor: when the engine
+/// runs durably, every registered cell and committed disclosure is journaled
+/// through the `Journal` hook before the disclosed value is released, and
+/// `Replay` rebuilds the identical constraint system after a crash — so the
+/// auditor refuses the same follow-up disclosure it would have refused had
+/// the process never died.
 class PrivacyControl {
  public:
+  /// A registered sensitive cell, as journaled and snapshotted.
+  struct SensitiveCellSpec {
+    std::string name;
+    double lo = 0.0;
+    double hi = 0.0;
+    double true_value = 0.0;
+  };
+
+  /// A committed aggregate disclosure, as journaled and snapshotted.
+  struct DisclosureSpec {
+    enum Kind : uint16_t { kMean = 1, kStdDev = 2 };
+    uint16_t kind = kMean;
+    std::vector<uint64_t> cells;
+    double tol = 0.0;
+  };
+
+  /// One journaled audit event: exactly one of `cell` / `disclosure` is
+  /// meaningful, selected by `kind`.
+  struct JournalEvent {
+    enum class Kind { kCell, kDisclosure } kind = Kind::kCell;
+    SensitiveCellSpec cell;
+    DisclosureSpec disclosure;
+  };
+  using Journal = std::function<Status(const JournalEvent&)>;
+
   PrivacyControl(double max_combined_loss, double max_interval_loss)
       : max_combined_loss_(max_combined_loss), auditor_(max_interval_loss) {}
 
@@ -50,17 +84,47 @@ class PrivacyControl {
   size_t RegisterSensitiveCell(const std::string& name, double lo, double hi,
                                double true_value);
 
+  /// Fail-closed ordering: the disclosure is committed to the auditor and
+  /// journaled before the value is returned. A journal failure surfaces as
+  /// the call's error — the caller must then withhold the value, while the
+  /// in-memory auditor keeps the (stricter) committed constraint.
   Result<double> ApproveMeanDisclosure(const std::vector<size_t>& cells, double tol);
   Result<double> ApproveStdDevDisclosure(const std::vector<size_t>& cells, double tol);
+
+  /// Installs the durability hook. The hook is invoked *outside* the
+  /// control lock (after the event committed in memory), so an engine
+  /// snapshotting this state under its own persistence lock cannot deadlock
+  /// with a journaling approval; a snapshot may therefore include an event
+  /// whose WAL record is still in flight — a superset of the durable log,
+  /// which recovery tolerates.
+  void set_journal(Journal journal);
+
+  /// Rebuilds the audit state from journaled/snapshotted events (recovery
+  /// path; never re-journals). A replayed disclosure that the auditor now
+  /// refuses is logged and skipped — the surviving state is then strictly
+  /// more conservative than the pre-crash one.
+  Status Replay(const std::vector<SensitiveCellSpec>& cells,
+                const std::vector<DisclosureSpec>& disclosures);
+
+  /// Committed audit state for snapshotting.
+  std::vector<SensitiveCellSpec> SnapshotCells() const;
+  std::vector<DisclosureSpec> SnapshotDisclosures() const;
 
   /// Unlocked view for inspection; callers must not race it with Approve*.
   const inference::SequenceAuditor& auditor() const { return auditor_; }
   double max_combined_loss() const { return max_combined_loss_; }
 
  private:
+  /// Commits one disclosure under mu_, then journals it outside the lock.
+  Result<double> Approve(uint16_t kind, const std::vector<size_t>& cells,
+                         double tol);
+
   double max_combined_loss_;
   mutable std::mutex mu_;
   inference::SequenceAuditor auditor_;
+  Journal journal_;
+  std::vector<SensitiveCellSpec> cells_;
+  std::vector<DisclosureSpec> disclosures_;
 };
 
 }  // namespace mediator

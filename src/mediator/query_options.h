@@ -43,6 +43,12 @@ struct QueryOptions {
   /// population) even when the engine enables it — for requesters that need
   /// a live answer.
   bool allow_warehouse = true;
+
+  /// Dials sources even when their circuit breaker is open (the engine's
+  /// `enable_circuit_breakers` mode) — for must-try emergency queries that
+  /// prefer a slow failure over shedding. The outcome still feeds the
+  /// breaker's failure accounting.
+  bool bypass_circuit_breaker = false;
 };
 
 }  // namespace mediator

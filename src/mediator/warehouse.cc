@@ -7,6 +7,7 @@ void Warehouse::Put(const std::string& fingerprint, relational::Table table,
                     uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.insert_or_assign(fingerprint, Entry{std::move(table), epoch});
+  if (metrics_ != nullptr) metrics_->AddCounter("warehouse.puts");
 }
 
 std::optional<relational::Table> Warehouse::Get(const std::string& fingerprint,
@@ -16,27 +17,48 @@ std::optional<relational::Table> Warehouse::Get(const std::string& fingerprint,
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) {
     ++misses_;
+    if (metrics_ != nullptr) metrics_->AddCounter("warehouse.misses");
     return std::nullopt;
   }
   const uint64_t age =
       current_epoch >= it->second.epoch ? current_epoch - it->second.epoch : 0;
   if (age > max_age) {
     ++misses_;
+    if (metrics_ != nullptr) metrics_->AddCounter("warehouse.misses");
     return std::nullopt;
   }
   ++hits_;
+  if (metrics_ != nullptr) metrics_->AddCounter("warehouse.hits");
   return it->second.table;
 }
 
-void Warehouse::EvictOlderThan(uint64_t epoch) {
+size_t Warehouse::EvictOlderThan(uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
+  size_t evicted = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.epoch < epoch) {
       it = entries_.erase(it);
+      ++evicted;
     } else {
       ++it;
     }
   }
+  evicted_entries_ += evicted;
+  if (metrics_ != nullptr) {
+    metrics_->AddCounter("warehouse.evictions");
+    metrics_->AddCounter("warehouse.evicted_entries", evicted);
+  }
+  return evicted;
+}
+
+std::vector<Warehouse::SnapshotEntry> Warehouse::SnapshotEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SnapshotEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [fingerprint, entry] : entries_) {
+    out.push_back({fingerprint, entry.epoch, entry.table});
+  }
+  return out;
 }
 
 }  // namespace mediator

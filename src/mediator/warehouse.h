@@ -5,7 +5,9 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "common/trace.h"
 #include "relational/table.h"
 
 namespace piye {
@@ -17,6 +19,14 @@ namespace mediator {
 /// are cached under their query fingerprint with a logical epoch; a lookup
 /// specifies how stale an answer it will accept. All operations are
 /// internally locked, for concurrent `MediationEngine::Execute` callers.
+///
+/// Observability: with `set_metrics` wired (the engine does this), every
+/// put, hit, miss, and evicted entry is also counted in the shared
+/// `trace::MetricsRegistry` (`warehouse.puts`, `warehouse.hits`,
+/// `warehouse.misses`, `warehouse.evicted_entries`, `warehouse.evictions`),
+/// so cache statistics can no longer silently diverge from what the engine
+/// reports — the registry and the accessors below are updated under the
+/// same lock.
 class Warehouse {
  public:
   /// Stores (replacing) a materialized result at the given logical epoch.
@@ -27,8 +37,16 @@ class Warehouse {
   std::optional<relational::Table> Get(const std::string& fingerprint,
                                        uint64_t current_epoch, uint64_t max_age) const;
 
-  /// Drops everything older than the epoch horizon.
-  void EvictOlderThan(uint64_t epoch);
+  /// Drops everything older than the epoch horizon; returns how many
+  /// entries were dropped.
+  size_t EvictOlderThan(uint64_t epoch);
+
+  /// Wires put/hit/miss/eviction counters into the engine's registry
+  /// (nullptr detaches).
+  void set_metrics(trace::MetricsRegistry* metrics) {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_ = metrics;
+  }
 
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -42,6 +60,22 @@ class Warehouse {
     std::lock_guard<std::mutex> lock(mu_);
     return misses_;
   }
+  /// Entries dropped by EvictOlderThan over the warehouse's lifetime.
+  size_t evicted_entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evicted_entries_;
+  }
+
+  /// One materialized entry, as snapshotted for the durability layer.
+  struct SnapshotEntry {
+    std::string fingerprint;
+    uint64_t epoch = 0;
+    relational::Table table;
+  };
+
+  /// Copy of the current materializations (fingerprint order), for
+  /// persistence snapshots.
+  std::vector<SnapshotEntry> SnapshotEntries() const;
 
  private:
   struct Entry {
@@ -52,6 +86,8 @@ class Warehouse {
   std::map<std::string, Entry> entries_;
   mutable size_t hits_ = 0;
   mutable size_t misses_ = 0;
+  size_t evicted_entries_ = 0;
+  trace::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace mediator

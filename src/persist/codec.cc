@@ -1,0 +1,168 @@
+#include "persist/codec.h"
+
+#include "common/macros.h"
+
+#include <array>
+#include <cstring>
+
+namespace piye {
+namespace persist {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Encoder::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+
+void Encoder::PutU32(uint32_t v) {
+  PutU16(static_cast<uint16_t>(v));
+  PutU16(static_cast<uint16_t>(v >> 16));
+}
+
+void Encoder::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void Encoder::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Encoder::PutString(std::string_view s) {
+  PutU64(s.size());
+  out_.append(s.data(), s.size());
+}
+
+void Encoder::PutStringVector(const std::vector<std::string>& v) {
+  PutU64(v.size());
+  for (const auto& s : v) PutString(s);
+}
+
+void Encoder::PutU64Vector(const std::vector<uint64_t>& v) {
+  PutU64(v.size());
+  for (uint64_t x : v) PutU64(x);
+}
+
+Status Decoder::Need(size_t n) {
+  if (bytes_.size() - pos_ < n) {
+    return Status::ParseError("persist decode: payload truncated (need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(bytes_.size() - pos_) + ")");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> Decoder::GetU8() {
+  PIYE_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>(bytes_[pos_++]);
+}
+
+Result<uint16_t> Decoder::GetU16() {
+  PIYE_RETURN_NOT_OK(Need(2));
+  uint16_t v = static_cast<uint8_t>(bytes_[pos_]) |
+               static_cast<uint16_t>(static_cast<uint8_t>(bytes_[pos_ + 1])) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> Decoder::GetU32() {
+  PIYE_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Decoder::GetU64() {
+  PIYE_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<double> Decoder::GetDouble() {
+  auto bits = GetU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  std::memcpy(&v, &*bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> Decoder::GetString() {
+  auto len = GetU64();
+  if (!len.ok()) return len.status();
+  PIYE_RETURN_NOT_OK(Need(*len));
+  std::string s(bytes_.substr(pos_, *len));
+  pos_ += *len;
+  return s;
+}
+
+Result<std::vector<std::string>> Decoder::GetStringVector() {
+  auto n = GetU64();
+  if (!n.ok()) return n.status();
+  // Each element costs at least a length prefix, so a corrupt count larger
+  // than the remaining bytes is rejected before reserving anything.
+  if (*n > remaining() / 8) {
+    return Status::ParseError("persist decode: string vector count exceeds payload");
+  }
+  std::vector<std::string> out;
+  out.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto s = GetString();
+    if (!s.ok()) return s.status();
+    out.push_back(std::move(*s));
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> Decoder::GetU64Vector() {
+  auto n = GetU64();
+  if (!n.ok()) return n.status();
+  if (*n > remaining() / 8) {
+    return Status::ParseError("persist decode: u64 vector count exceeds payload");
+  }
+  std::vector<uint64_t> out;
+  out.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto v = GetU64();
+    if (!v.ok()) return v.status();
+    out.push_back(*v);
+  }
+  return out;
+}
+
+}  // namespace persist
+}  // namespace piye

@@ -1,0 +1,216 @@
+#include "persist/state_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "persist/codec.h"
+
+namespace piye {
+namespace persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kSnapMagic[] = "PIYESNP1";
+constexpr size_t kSnapMagicLen = 8;
+
+std::string SnapshotPath(const std::string& dir, uint64_t gen) {
+  return dir + "/snapshot-" + std::to_string(gen);
+}
+
+std::string WalPath(const std::string& dir, uint64_t gen) {
+  return dir + "/wal-" + std::to_string(gen);
+}
+
+/// Parses "<prefix>-<gen>" names; returns false for anything else.
+bool ParseGen(const std::string& name, const std::string& prefix, uint64_t* gen) {
+  if (name.rfind(prefix + "-", 0) != 0) return false;
+  const std::string digits = name.substr(prefix.size() + 1);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *gen = std::stoull(digits);
+  return true;
+}
+
+/// Reads and validates a snapshot file: magic | u32 crc | u64 len | blob.
+Result<std::string> ReadSnapshotFile(const std::string& path) {
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return Status::NotFound("no snapshot at " + path);
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("snapshot open '" + path + "': " + std::strerror(errno));
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Internal("snapshot read '" + path + "': " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (bytes.size() < kSnapMagicLen + 12 ||
+      std::memcmp(bytes.data(), kSnapMagic, kSnapMagicLen) != 0) {
+    return Status::ParseError("snapshot '" + path + "': bad magic or truncated");
+  }
+  Decoder head(std::string_view(bytes).substr(kSnapMagicLen, 12));
+  const uint32_t crc = *head.GetU32();
+  const uint64_t len = *head.GetU64();
+  const std::string_view blob = std::string_view(bytes).substr(kSnapMagicLen + 12);
+  if (blob.size() != len) {
+    return Status::ParseError("snapshot '" + path + "': length mismatch");
+  }
+  if (Crc32(blob) != crc) {
+    return Status::ParseError("snapshot '" + path + "': checksum mismatch");
+  }
+  return std::string(blob);
+}
+
+Status WriteSnapshotFile(const std::string& path, std::string_view blob) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("snapshot create '" + tmp + "': " + std::strerror(errno));
+  }
+  Encoder head;
+  head.PutU32(Crc32(blob));
+  head.PutU64(blob.size());
+  std::string bytes = std::string(kSnapMagic, kSnapMagicLen) + head.Take();
+  bytes.append(blob.data(), blob.size());
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Internal("snapshot write '" + tmp + "': " + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::Internal("snapshot fsync '" + tmp + "': " + std::strerror(errno));
+  }
+  ::close(fd);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("snapshot rename '" + tmp + "': " + ec.message());
+  }
+  // Make the rename itself durable.
+  const std::string dir = fs::path(path).parent_path().string();
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+/// Removes every snapshot/wal file of a generation other than `keep`, plus
+/// stray .tmp files. Best-effort: GC failure never fails recovery.
+void GarbageCollect(const std::string& dir, uint64_t keep) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t gen = 0;
+    const bool is_snap = ParseGen(name, "snapshot", &gen);
+    const bool is_wal = !is_snap && ParseGen(name, "wal", &gen);
+    const bool is_tmp = name.size() > 4 && name.rfind(".tmp") == name.size() - 4;
+    if (is_tmp || ((is_snap || is_wal) && gen != keep)) {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StateLog>> StateLog::Open(const std::string& dir,
+                                                 RecoveredState* recovered) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("persist dir '" + dir + "': " + ec.message());
+  }
+
+  // Candidate generations, newest first: every snapshot or wal file names
+  // one. Generation 0 (no snapshot yet) is always a candidate.
+  std::vector<uint64_t> gens;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t gen = 0;
+    if (ParseGen(name, "snapshot", &gen) || ParseGen(name, "wal", &gen)) {
+      gens.push_back(gen);
+    }
+  }
+  gens.push_back(0);
+  std::sort(gens.rbegin(), gens.rend());
+  gens.erase(std::unique(gens.begin(), gens.end()), gens.end());
+
+  RecoveredState state;
+  uint64_t chosen = 0;
+  for (uint64_t gen : gens) {
+    std::string snapshot;
+    if (gen > 0) {
+      auto blob = ReadSnapshotFile(SnapshotPath(dir, gen));
+      if (!blob.ok()) {
+        // A generation without a readable snapshot cannot anchor recovery;
+        // fall back to the previous one (fail-closed: we may lose recent
+        // answers' history, never invent budget).
+        Logger::Warn("persist", "generation " + std::to_string(gen) +
+                                    " unusable (" + blob.status().ToString() +
+                                    "); falling back");
+        continue;
+      }
+      snapshot = std::move(*blob);
+    }
+    PIYE_ASSIGN_OR_RETURN(WalReadResult wal, ReadWal(WalPath(dir, gen)));
+    state.snapshot = std::move(snapshot);
+    state.records = std::move(wal.records);
+    state.wal_clean = wal.clean;
+    state.tail_detail = wal.tail_detail;
+    state.generation = gen;
+    chosen = gen;
+    break;
+  }
+  if (!state.wal_clean) {
+    Logger::Warn("persist", "recovery at generation " + std::to_string(chosen) +
+                                " discarded a damaged WAL tail: " +
+                                state.tail_detail);
+  }
+
+  GarbageCollect(dir, chosen);
+  PIYE_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> wal,
+                        WalWriter::Open(WalPath(dir, chosen)));
+  if (recovered != nullptr) *recovered = std::move(state);
+  return std::unique_ptr<StateLog>(new StateLog(dir, chosen, std::move(wal)));
+}
+
+Status StateLog::Rotate(std::string_view snapshot_blob) {
+  const uint64_t next = gen_ + 1;
+  PIYE_RETURN_NOT_OK(WriteSnapshotFile(SnapshotPath(dir_, next), snapshot_blob));
+  PIYE_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> wal,
+                        WalWriter::Open(WalPath(dir_, next)));
+  wal_ = std::move(wal);
+  gen_ = next;
+  GarbageCollect(dir_, gen_);
+  return Status::OK();
+}
+
+}  // namespace persist
+}  // namespace piye

@@ -1,0 +1,81 @@
+#ifndef PIYE_PERSIST_STATE_LOG_H_
+#define PIYE_PERSIST_STATE_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "persist/wal.h"
+
+namespace piye {
+namespace persist {
+
+/// Durable state directory: one snapshot + one WAL per generation.
+///
+///   <dir>/snapshot-<g>   full-state blob (atomic tmp+rename, CRC-checked)
+///   <dir>/wal-<g>        records appended since snapshot g
+///
+/// Recovery picks the highest generation with a *valid* snapshot (a corrupt
+/// snapshot falls back to the previous generation — conservative, never a
+/// crash), loads it, and replays only that generation's WAL; `Rotate` writes
+/// the next snapshot, starts a fresh WAL, and garbage-collects everything
+/// older. The crash windows are all safe:
+///   - crash before the snapshot rename: the tmp file is ignored on reopen;
+///   - crash after the rename, before the new WAL exists: the new
+///     generation recovers from its snapshot plus an empty WAL;
+///   - crash before old generations are deleted: reopen prefers the newest
+///     valid generation and deletes the rest.
+class StateLog {
+ public:
+  struct RecoveredState {
+    std::string snapshot;  ///< empty when the generation has no snapshot
+    std::vector<WalRecord> records;
+    bool wal_clean = true;
+    std::string tail_detail;
+    uint64_t generation = 0;
+  };
+
+  /// Opens (creating if needed) the directory, recovers the newest valid
+  /// generation into `*recovered`, and leaves the WAL open for appending —
+  /// truncated back past any torn tail.
+  static Result<std::unique_ptr<StateLog>> Open(const std::string& dir,
+                                                RecoveredState* recovered);
+
+  /// Buffers one record in the current generation's WAL.
+  Status Append(uint16_t type, std::string_view payload) {
+    return wal_->Append(type, payload);
+  }
+
+  /// Makes everything appended so far durable.
+  Status Sync() { return wal_->Sync(); }
+
+  /// Pushes appends into the file without fsync (`sync_wal = false` mode).
+  Status Flush() { return wal_->Flush(); }
+
+  /// Writes `snapshot_blob` as the next generation and starts its fresh
+  /// WAL; older generations are deleted (best-effort).
+  Status Rotate(std::string_view snapshot_blob);
+
+  /// The live WAL writer — exposed so the crash-injection harness can arm
+  /// kill-points on it.
+  WalWriter* wal() { return wal_.get(); }
+
+  uint64_t generation() const { return gen_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  StateLog(std::string dir, uint64_t gen, std::unique_ptr<WalWriter> wal)
+      : dir_(std::move(dir)), gen_(gen), wal_(std::move(wal)) {}
+
+  std::string dir_;
+  uint64_t gen_;
+  std::unique_ptr<WalWriter> wal_;
+};
+
+}  // namespace persist
+}  // namespace piye
+
+#endif  // PIYE_PERSIST_STATE_LOG_H_
