@@ -96,10 +96,10 @@ void DetectionSweep() {
     auto result = system->Query(SurveillanceQuery());
     std::vector<double> integrated(kDays, 0.0);
     if (result.ok()) {
-      auto day_idx = result->table.schema().IndexOf("day");
-      auto sum_idx = result->table.schema().IndexOf("sum_cases");
+      auto day_idx = result->table().schema().IndexOf("day");
+      auto sum_idx = result->table().schema().IndexOf("sum_cases");
       if (day_idx.ok() && sum_idx.ok()) {
-        for (const auto& row : result->table.rows()) {
+        for (const auto& row : result->table().rows()) {
           integrated[static_cast<size_t>(row[*day_idx].AsInt())] +=
               row[*sum_idx].AsDouble();
         }

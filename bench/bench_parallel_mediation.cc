@@ -109,7 +109,7 @@ void PrintFanoutSweep() {
     auto rs = serial->Execute(query, options);
     auto rp = parallel->Execute(query, options);
     const bool identical =
-        rs.ok() && rp.ok() && TableBytes(rs->table) == TableBytes(rp->table);
+        rs.ok() && rp.ok() && TableBytes(rs->table()) == TableBytes(rp->table());
     std::printf("%-8zu %-12.2f %-12.2f %-9.2f %s\n", n, serial_ms, parallel_ms,
                 serial_ms / parallel_ms, identical ? "yes" : "NO — BUG");
   }
@@ -157,7 +157,7 @@ void PrintByteIdentityAudit() {
     auto rs = serial->Execute(Query(s.body), options);
     auto rp = parallel->Execute(Query(s.body), options);
     const bool both_ok = rs.ok() && rp.ok();
-    const bool identical = both_ok && TableBytes(rs->table) == TableBytes(rp->table) &&
+    const bool identical = both_ok && TableBytes(rs->table()) == TableBytes(rp->table()) &&
                            rs->sources_answered == rp->sources_answered &&
                            rs->sources_skipped == rp->sources_skipped;
     std::printf("  %-22s %s\n", s.name,

@@ -78,10 +78,10 @@ int main() {
 
   // Reassemble the integrated daily curve from the privacy-preserving feed.
   std::map<int64_t, double> by_day;
-  auto day_idx = result->table.schema().IndexOf("day");
-  auto sum_idx = result->table.schema().IndexOf("sum_cases");
+  auto day_idx = result->table().schema().IndexOf("day");
+  auto sum_idx = result->table().schema().IndexOf("sum_cases");
   if (!day_idx.ok() || !sum_idx.ok()) return 1;
-  for (const auto& row : result->table.rows()) {
+  for (const auto& row : result->table().rows()) {
     by_day[row[*day_idx].AsInt()] += row[*sum_idx].AsDouble();
   }
   std::vector<double> integrated;

@@ -136,8 +136,8 @@ int main() {
     return 1;
   }
   std::printf("\nIntegrated result (%zu rows, combined privacy loss %.2f):\n",
-              result->table.num_rows(), result->combined_privacy_loss);
-  std::printf("%s\n", result->table.ToString().c_str());
+              result->table().num_rows(), result->combined_privacy_loss);
+  std::printf("%s\n", result->table().ToString().c_str());
 
   // 6. The same query for a disallowed purpose is refused outright.
   auto refused = system.QueryXml(R"(

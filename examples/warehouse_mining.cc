@@ -38,10 +38,10 @@ int main() {
   }
   std::printf("Integrated %zu released records (dob arrives as decade "
               "prefixes, names never arrive at all).\n\n",
-              result->table.num_rows());
+              result->table().num_rows());
 
   // --- Mine the released table. ---
-  auto itemsets = core::WarehouseMiner::FrequentItemsets(result->table, 0.08, 2);
+  auto itemsets = core::WarehouseMiner::FrequentItemsets(result->table(), 0.08, 2);
   if (itemsets.ok()) {
     std::printf("Frequent patterns (support >= 8%%):\n");
     size_t shown = 0;
@@ -56,7 +56,7 @@ int main() {
       if (++shown == 8) break;
     }
   }
-  auto rules = core::WarehouseMiner::AssociationRules(result->table, 0.08, 0.5, 2);
+  auto rules = core::WarehouseMiner::AssociationRules(result->table(), 0.08, 0.5, 2);
   if (rules.ok()) {
     std::printf("\nAssociation rules (confidence >= 0.5, by lift):\n");
     size_t shown = 0;

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # The repo's CI entry point: a plain release-ish build with the full test
-# suite, then the same suite under AddressSanitizer (PIYE_SANITIZE=address).
-# The sanitizer leg matters for the durability layer — the WAL/recovery code
+# suite, then the same suite under AddressSanitizer (PIYE_SANITIZE=address),
+# then the concurrency suites under ThreadSanitizer (PIYE_SANITIZE=thread).
+# The ASan leg matters for the durability layer — the WAL/recovery code
 # paths shuffle raw buffers and file descriptors, exactly where ASan earns
-# its keep. Usage:
+# its keep. The TSan leg guards the lock-based hot paths: the sharded
+# warehouse, the engine's single-flight coalescing and fragment fan-out, and
+# the striped metrics registry. Usage:
 #
-#   scripts/ci.sh              # build + ctest + ASan build + ctest
-#   PIYE_CI_SKIP_ASAN=1 scripts/ci.sh   # quick leg only
+#   scripts/ci.sh              # build + ctest + ASan leg + TSan leg
+#   PIYE_CI_SKIP_ASAN=1 scripts/ci.sh   # skip the ASan leg
+#   PIYE_CI_SKIP_TSAN=1 scripts/ci.sh   # skip the TSan leg
 #
 # Exits non-zero on any build failure, test failure, or sanitizer report.
 set -euo pipefail
@@ -14,24 +18,39 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc)"
 
-echo "=== [1/2] build + test ==="
+echo "=== [1/3] build + test ==="
 cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
 if [[ "${PIYE_CI_SKIP_ASAN:-0}" == "1" ]]; then
-  echo "=== [2/2] ASan leg skipped (PIYE_CI_SKIP_ASAN=1) ==="
-  exit 0
+  echo "=== [2/3] ASan leg skipped (PIYE_CI_SKIP_ASAN=1) ==="
+else
+  echo "=== [2/3] AddressSanitizer build + test ==="
+  # halt_on_error makes a sanitizer report fail the test that produced it;
+  # leak detection stays off to match scripts/sanitize.sh (ptrace is often
+  # unavailable in CI containers).
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=0}"
+  cmake -B "$ROOT/build-addresssan" -S "$ROOT" -DPIYE_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$ROOT/build-addresssan" -j "$JOBS"
+  ctest --test-dir "$ROOT/build-addresssan" --output-on-failure -j "$JOBS"
 fi
 
-echo "=== [2/2] AddressSanitizer build + test ==="
-# halt_on_error makes a sanitizer report fail the test that produced it;
-# leak detection stays off to match scripts/sanitize.sh (ptrace is often
-# unavailable in CI containers).
-export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=0}"
-cmake -B "$ROOT/build-addresssan" -S "$ROOT" -DPIYE_SANITIZE=address \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$ROOT/build-addresssan" -j "$JOBS"
-ctest --test-dir "$ROOT/build-addresssan" --output-on-failure -j "$JOBS"
+if [[ "${PIYE_CI_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "=== [3/3] TSan leg skipped (PIYE_CI_SKIP_TSAN=1) ==="
+else
+  echo "=== [3/3] ThreadSanitizer build + concurrency suites ==="
+  # The TSan leg runs the suites that exercise real lock/atomic contention:
+  # the sharded warehouse + single-flight scale suite, the engine fan-out
+  # suite, and the crash/recovery suite (durable journaling under Execute).
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+  cmake -B "$ROOT/build-threadsan" -S "$ROOT" -DPIYE_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$ROOT/build-threadsan" -j "$JOBS" --target \
+    warehouse_scale_test concurrency_test recovery_test
+  ctest --test-dir "$ROOT/build-threadsan" --output-on-failure -j "$JOBS" \
+    -R '^(warehouse_scale_test|concurrency_test|recovery_test)$'
+fi
 
 echo "=== CI green ==="

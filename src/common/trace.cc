@@ -26,6 +26,48 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+/// JSON string escaping for metric names: quotes, backslashes, and control
+/// characters. Without this, a name containing `"` or `\` produced output no
+/// strict parser would accept.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 // --- Trace ---
@@ -67,51 +109,109 @@ double Histogram::PercentileMicros(double p) const {
 
 // --- MetricsRegistry ---
 
+MetricsRegistry::Counter* MetricsRegistry::RegisterCounter(
+    const std::string& name) {
+  CounterStripe& stripe = counter_stripes_[StripeOf(name)];
+  {
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    auto it = stripe.counters.find(name);
+    if (it != stripe.counters.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(stripe.mu);
+  auto [it, inserted] =
+      stripe.counters.try_emplace(name, std::make_unique<Counter>(0));
+  (void)inserted;
+  return it->second.get();
+}
+
 void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_[name] += delta;
+  CounterStripe& stripe = counter_stripes_[StripeOf(name)];
+  {
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    auto it = stripe.counters.find(name);
+    if (it != stripe.counters.end()) {
+      it->second->fetch_add(delta, std::memory_order_relaxed);
+      return;
+    }
+  }
+  RegisterCounter(name)->fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::DeclareLatency(const std::string& name) {
+  LatencyStripe& stripe = latency_stripes_[StripeOf(name)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.latencies.try_emplace(name);
 }
 
 void MetricsRegistry::RecordLatency(const std::string& name, double micros) {
-  std::lock_guard<std::mutex> lock(mu_);
-  latencies_[name].Record(micros);
+  LatencyStripe& stripe = latency_stripes_[StripeOf(name)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.latencies[name].Record(micros);
 }
 
 uint64_t MetricsRegistry::counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  const CounterStripe& stripe = counter_stripes_[StripeOf(name)];
+  std::shared_lock<std::shared_mutex> lock(stripe.mu);
+  auto it = stripe.counters.find(name);
+  return it == stripe.counters.end()
+             ? 0
+             : it->second->load(std::memory_order_relaxed);
 }
 
 Histogram MetricsRegistry::latency(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = latencies_.find(name);
-  return it == latencies_.end() ? Histogram() : it->second;
+  const LatencyStripe& stripe = latency_stripes_[StripeOf(name)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.latencies.find(name);
+  return it == stripe.latencies.end() ? Histogram() : it->second;
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Gather striped state into ordered maps first (one stripe lock at a
+  // time), so the output is sorted and deterministic regardless of striping.
+  std::map<std::string, uint64_t> counters;
+  for (const CounterStripe& stripe : counter_stripes_) {
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    for (const auto& [name, cell] : stripe.counters) {
+      counters[name] = cell->load(std::memory_order_relaxed);
+    }
+  }
+  std::map<std::string, Histogram> latencies;
+  for (const LatencyStripe& stripe : latency_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [name, hist] : stripe.latencies) latencies[name] = hist;
+  }
+
   std::string out = "{\"counters\": {";
   bool first = true;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : counters) {
     if (!first) out += ", ";
     first = false;
-    out += "\"" + name + "\": " + std::to_string(value);
+    out += "\"" + JsonEscape(name) + "\": " + std::to_string(value);
   }
   out += "}, \"latencies\": {";
   first = true;
-  for (const auto& [name, hist] : latencies_) {
+  for (const auto& [name, hist] : latencies) {
     if (!first) out += ", ";
     first = false;
-    out += "\"" + name + "\": {";
+    out += "\"" + JsonEscape(name) + "\": {";
     out += "\"count\": " + std::to_string(hist.count());
-    out += ", \"sum_micros\": " + FormatDouble(hist.sum_micros());
-    out += ", \"min_micros\": " + FormatDouble(hist.min_micros());
-    out += ", \"max_micros\": " + FormatDouble(hist.max_micros());
-    out += ", \"mean_micros\": " + FormatDouble(hist.mean_micros());
-    out += ", \"p50_micros\": " + FormatDouble(hist.PercentileMicros(0.50));
-    out += ", \"p95_micros\": " + FormatDouble(hist.PercentileMicros(0.95));
-    out += ", \"p99_micros\": " + FormatDouble(hist.PercentileMicros(0.99));
+    if (hist.count() == 0) {
+      // Explicit zeros: an empty histogram has no samples to summarize, and
+      // emitting member-variable defaults here once leaked nonsense like a
+      // "min" with no recorded value.
+      out += ", \"sum_micros\": 0.000, \"min_micros\": 0.000"
+             ", \"max_micros\": 0.000, \"mean_micros\": 0.000"
+             ", \"p50_micros\": 0.000, \"p95_micros\": 0.000"
+             ", \"p99_micros\": 0.000";
+    } else {
+      out += ", \"sum_micros\": " + FormatDouble(hist.sum_micros());
+      out += ", \"min_micros\": " + FormatDouble(hist.min_micros());
+      out += ", \"max_micros\": " + FormatDouble(hist.max_micros());
+      out += ", \"mean_micros\": " + FormatDouble(hist.mean_micros());
+      out += ", \"p50_micros\": " + FormatDouble(hist.PercentileMicros(0.50));
+      out += ", \"p95_micros\": " + FormatDouble(hist.PercentileMicros(0.95));
+      out += ", \"p99_micros\": " + FormatDouble(hist.PercentileMicros(0.99));
+    }
     out += "}";
   }
   out += "}}";
@@ -119,9 +219,16 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_.clear();
-  latencies_.clear();
+  for (CounterStripe& stripe : counter_stripes_) {
+    std::unique_lock<std::shared_mutex> lock(stripe.mu);
+    for (auto& [name, cell] : stripe.counters) {
+      cell->store(0, std::memory_order_relaxed);
+    }
+  }
+  for (LatencyStripe& stripe : latency_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.latencies.clear();
+  }
 }
 
 // --- ScopedSpan ---

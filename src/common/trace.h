@@ -2,10 +2,13 @@
 #define PIYE_COMMON_TRACE_H_
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -46,7 +49,7 @@ class Histogram {
   uint64_t count() const { return count_; }
   double sum_micros() const { return sum_; }
   double min_micros() const { return count_ == 0 ? 0.0 : min_; }
-  double max_micros() const { return max_; }
+  double max_micros() const { return count_ == 0 ? 0.0 : max_; }
   double mean_micros() const { return count_ == 0 ? 0.0 : sum_ / count_; }
 
   /// Approximate percentile (p in [0,1]) from the bucket boundaries.
@@ -65,10 +68,33 @@ class Histogram {
 /// Registry of named counters and latency histograms. All operations are
 /// thread-safe; the engine owns one and its concurrent per-source tasks
 /// record into it directly.
+///
+/// Counters are striped by name hash and stored as atomics behind a
+/// shared_mutex per stripe, so the steady-state AddCounter path is a shared
+/// (read) lock plus one relaxed fetch_add — concurrent writers to different
+/// names (or even the same name) never serialize behind a global map lock.
+/// For the hottest paths, `RegisterCounter` hands back a stable atomic cell
+/// that callers cache and increment directly, skipping even the name lookup
+/// (the warehouse shards do this). Histograms keep a per-stripe mutex:
+/// Histogram::Record mutates several fields and is not atomic-friendly.
 class MetricsRegistry {
  public:
+  /// A registered counter cell. Stable for the registry's lifetime — Reset
+  /// zeroes registered cells instead of destroying them, precisely so cached
+  /// pointers never dangle.
+  using Counter = std::atomic<uint64_t>;
+
+  /// Returns the (created-on-first-use) counter cell for `name`. Increment
+  /// with `fetch_add(n, std::memory_order_relaxed)`.
+  Counter* RegisterCounter(const std::string& name);
+
   void AddCounter(const std::string& name, uint64_t delta = 1);
   void RecordLatency(const std::string& name, double micros);
+
+  /// Pre-registers a latency histogram with no samples, so scrapers see the
+  /// metric (at explicit zeros) before the first recording. No-op if the
+  /// name already exists.
+  void DeclareLatency(const std::string& name);
 
   uint64_t counter(const std::string& name) const;
   /// Snapshot copy; a never-recorded name yields an empty histogram.
@@ -77,14 +103,31 @@ class MetricsRegistry {
   /// Dumps every counter and histogram as a JSON object:
   /// {"counters": {...}, "latencies": {name: {count, sum_micros, min_micros,
   /// max_micros, mean_micros, p50_micros, p95_micros, p99_micros}}}.
+  /// Names are JSON-escaped; an empty histogram reports explicit zeros.
   std::string ToJson() const;
 
+  /// Zeroes every counter (registered cells stay valid) and drops all
+  /// histograms.
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, uint64_t> counters_;
-  std::map<std::string, Histogram> latencies_;
+  static constexpr size_t kStripes = 16;
+
+  struct CounterStripe {
+    mutable std::shared_mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+  };
+  struct LatencyStripe {
+    mutable std::mutex mu;
+    std::map<std::string, Histogram> latencies;
+  };
+
+  static size_t StripeOf(const std::string& name) {
+    return std::hash<std::string>{}(name) % kStripes;
+  }
+
+  std::array<CounterStripe, kStripes> counter_stripes_;
+  std::array<LatencyStripe, kStripes> latency_stripes_;
 };
 
 /// RAII span over a monotonic (steady) clock — wall-clock timestamps are

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <future>
 #include <thread>
 #include <utility>
@@ -33,6 +34,25 @@ bool IsTransportFailure(const Status& status) {
   return status.IsUnavailable() || status.IsDeadlineExceeded();
 }
 
+/// Canonical encoding of every QueryOptions field that can change the
+/// answer. Two calls coalesce only when this string (plus requester and
+/// query fingerprint) matches exactly — a deadline or quorum difference is a
+/// different request.
+std::string OptionsCoalescingKey(const QueryOptions& options) {
+  std::string key;
+  for (const auto& k : options.dedup_keys) {
+    key += k;
+    key += ',';
+  }
+  key += '|';
+  key += std::to_string(options.deadline_ms) + '|' +
+         std::to_string(options.max_retries) + '|' +
+         std::to_string(options.min_sources) + '|';
+  key += options.allow_warehouse ? '1' : '0';
+  key += options.bypass_circuit_breaker ? '1' : '0';
+  return key;
+}
+
 }  // namespace
 
 /// Shared between the waiting Execute call and a pool task. The task owns a
@@ -60,8 +80,22 @@ struct MediationEngine::FragmentOutcome {
   }
 };
 
+/// One coalesced federated execution: the leader publishes its result here
+/// and every follower that joined while it was in flight shares it. The
+/// shared_ptr keeps the flight alive for followers even after the leader
+/// has erased it from the engine's in-flight table.
+struct MediationEngine::InflightExecution {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result<IntegratedResult> result{
+      Status::Internal("single-flight execution still in flight")};
+};
+
 MediationEngine::MediationEngine(Options options)
     : options_(options),
+      warehouse_(Warehouse::Options{options.warehouse_shards,
+                                    options.warehouse_max_bytes}),
       control_(options.max_combined_loss, options.max_interval_loss) {
   warehouse_.set_metrics(&metrics_);
   if (options_.worker_threads > 0) {
@@ -148,13 +182,13 @@ Status MediationEngine::RotateSnapshotLocked() {
   return Status::OK();
 }
 
-Status MediationEngine::RecordDurably(HistoryEntry entry,
-                                      const relational::Table* warehouse_table,
-                                      const std::string& fingerprint) {
+Status MediationEngine::RecordDurably(
+    HistoryEntry entry, std::shared_ptr<const relational::Table> warehouse_table,
+    const std::string& fingerprint) {
   if (!persist_attached_.load()) {
     history_.Record(std::move(entry));
     if (warehouse_table != nullptr) {
-      warehouse_.Put(fingerprint, *warehouse_table, epoch());
+      warehouse_.Put(fingerprint, std::move(warehouse_table), epoch());
     }
     return Status::OK();
   }
@@ -188,7 +222,7 @@ Status MediationEngine::RecordDurably(HistoryEntry entry,
   metrics_.AddCounter("engine.wal_records");
   history_.Record(std::move(entry));
   if (warehouse_table != nullptr) {
-    warehouse_.Put(fingerprint, *warehouse_table, epoch());
+    warehouse_.Put(fingerprint, std::move(warehouse_table), epoch());
   }
   if (options_.snapshot_every_records > 0 &&
       ++records_since_snapshot_ >= options_.snapshot_every_records) {
@@ -472,21 +506,80 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
     reidentified.requester = options.requester;
     effective_query = &reidentified;
   }
+  const std::string fingerprint =
+      xml::Serialize(*effective_query->ToXml(), /*indent=*/-1);
+
+  if (!options_.enable_single_flight || !options.coalesce) {
+    return ExecuteUncoalesced(*effective_query, options, fingerprint);
+  }
+
+  // Single-flight: identical concurrent requests (same fingerprint, same
+  // requester, same options) share one federated execution. The requester is
+  // part of the key on top of the fingerprint (which already serializes it)
+  // so the budget-neutrality rule — never merge across requesters — holds by
+  // construction even if fingerprinting ever changes.
+  const std::string flight_key = effective_query->requester + '\x1f' +
+                                 OptionsCoalescingKey(options) + '\x1f' +
+                                 fingerprint;
+  std::shared_ptr<InflightExecution> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(flight_key);
+    if (it == inflight_.end()) {
+      flight = std::make_shared<InflightExecution>();
+      inflight_.emplace(flight_key, flight);
+      leader = true;
+    } else {
+      flight = it->second;
+    }
+  }
+  if (!leader) {
+    // Join the in-flight execution: no source fan-out, no retries, and no
+    // additional budget charge for this caller — the leader's (single)
+    // history record already accounts the disclosure for this requester.
+    metrics_.AddCounter("engine.singleflight_coalesced");
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&flight] { return flight->done; });
+    return flight->result;
+  }
+  metrics_.AddCounter("engine.singleflight_leaders");
+  Result<IntegratedResult> result =
+      ExecuteUncoalesced(*effective_query, options, fingerprint);
+  {
+    // Remove the flight *before* publishing: a caller arriving after this
+    // point starts a fresh execution (correct — the previous answer is now
+    // history, and the warehouse serves repeats), while everyone who joined
+    // earlier shares the result below.
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(flight_key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->result = result;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  return result;
+}
+
+Result<MediationEngine::IntegratedResult> MediationEngine::ExecuteUncoalesced(
+    const source::PiqlQuery& query, const QueryOptions& options,
+    const std::string& fingerprint) {
+  const source::PiqlQuery* effective_query = &query;
 
   IntegratedResult out;
   trace::Trace query_trace;
   const bool use_warehouse = options_.enable_warehouse && options.allow_warehouse;
 
   // Warehouse lookup (hybrid virtual/materialized querying).
-  const std::string fingerprint =
-      xml::Serialize(*effective_query->ToXml(), /*indent=*/-1);
   {
     trace::ScopedSpan span("warehouse-lookup", &query_trace, &metrics_);
     if (use_warehouse) {
       auto cached = warehouse_.Get(fingerprint, epoch(), options_.warehouse_max_age);
-      if (cached.has_value()) {
+      if (cached != nullptr) {
         span.Stop();
-        out.table = std::move(*cached);
+        out.table_handle = std::move(cached);  // zero-copy: the cached entry
         out.from_warehouse = true;
         out.timings = query_trace.timings();
         metrics_.AddCounter("engine.warehouse_hits");
@@ -713,14 +806,17 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
       source_results.push_back(std::move(r));
       out.sources_answered.push_back(a.owner);
     }
-    PIYE_ASSIGN_OR_RETURN(out.table,
+    PIYE_ASSIGN_OR_RETURN(relational::Table integrated,
                           integrator.Integrate(source_results, resolved_keys));
+    out.table_handle =
+        std::make_shared<const relational::Table>(std::move(integrated));
     out.combined_privacy_loss = combined;
   }
 
   // History + warehouse, behind the durability barrier: in durable mode the
   // record is on disk before the answer leaves this function, and a failure
-  // to get it there withholds the answer.
+  // to get it there withholds the answer. The warehouse stores the same
+  // refcounted table the caller receives — no copy.
   {
     trace::ScopedSpan span("record", &query_trace, &metrics_);
     HistoryEntry entry;
@@ -732,7 +828,7 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
     entry.aggregated_privacy_loss = combined;
     entry.released = true;
     PIYE_RETURN_NOT_OK(RecordDurably(std::move(entry),
-                                     use_warehouse ? &out.table : nullptr,
+                                     use_warehouse ? out.table_handle : nullptr,
                                      fingerprint));
   }
   out.timings = query_trace.timings();

@@ -42,6 +42,11 @@ namespace mediator {
 /// demands it). Per-source circuit breakers (when enabled) shed a
 /// persistently failing source outright instead of burning retry and
 /// deadline budget on every query, with half-open probing to readmit it.
+/// Identical concurrent queries (same fingerprint, requester, and options)
+/// are single-flighted: one caller leads the federated execution and the
+/// rest share its privacy-checked result — one source fan-out, one history
+/// entry, one budget charge for the burst (different requesters never
+/// coalesce, so per-requester accounting is untouched).
 /// Execute itself is safe for concurrent callers: the shared stores
 /// (history, warehouse, privacy control, metrics) are internally locked,
 /// the mediated schema is immutable after initialization, and
@@ -74,6 +79,16 @@ class MediationEngine {
     /// emergencies"); the warehouse is bypassed when false.
     bool enable_warehouse = true;
     uint64_t warehouse_max_age = 1;
+    /// Warehouse scale knobs (see mediator/warehouse.h): fingerprints hash
+    /// across `warehouse_shards` independently locked shards, and the cache
+    /// as a whole is bounded to `warehouse_max_bytes` (ApproxBytes
+    /// accounting; oldest-epoch / LRU-within-epoch eviction; 0 = unbounded).
+    size_t warehouse_shards = 16;
+    size_t warehouse_max_bytes = 256ull << 20;
+    /// Single-flight coalescing of identical concurrent queries (see
+    /// QueryOptions::coalesce for the exact merge rule). Off ⇒ every call
+    /// executes privately, whatever the per-query option says.
+    bool enable_single_flight = true;
     /// Worker threads for the per-source fan-out. 0 ⇒ serial in-line
     /// execution (no pool — the pre-concurrency behaviour, also the
     /// baseline the parallel-mediation benchmark compares against).
@@ -146,7 +161,12 @@ class MediationEngine {
   using StageTiming = trace::StageTiming;
 
   struct IntegratedResult {
-    relational::Table table;
+    /// Refcounted handle to the integrated answer (never null on a released
+    /// result). On a warehouse hit this *is* the cached materialization —
+    /// zero-copy; on a live execution it is shared with the warehouse entry
+    /// the release materialized. Treat as immutable.
+    std::shared_ptr<const relational::Table> table_handle;
+    const relational::Table& table() const { return *table_handle; }
     double combined_privacy_loss = 0.0;
     bool from_warehouse = false;
     std::vector<std::string> sources_answered;
@@ -208,6 +228,15 @@ class MediationEngine {
 
  private:
   struct FragmentOutcome;
+  struct InflightExecution;
+
+  /// The body of one federated execution (everything Execute did before
+  /// single-flight existed): warehouse lookup, budget check, fragmentation,
+  /// fan-out, privacy control, integration, durable release. `fingerprint`
+  /// is the serialized effective query (already requester-corrected).
+  Result<IntegratedResult> ExecuteUncoalesced(const source::PiqlQuery& query,
+                                              const QueryOptions& options,
+                                              const std::string& fingerprint);
 
   /// Runs one fragment against its source with bounded retry/backoff.
   static void RunFragmentWithRetry(const source::RemoteSource* src,
@@ -222,7 +251,8 @@ class MediationEngine {
   /// WAL and makes it durable, then applies it in memory; a durability
   /// failure withholds the answer and flips the engine into fail-closed
   /// refusal. In volatile mode, applies in memory directly.
-  Status RecordDurably(HistoryEntry entry, const relational::Table* warehouse_table,
+  Status RecordDurably(HistoryEntry entry,
+                       std::shared_ptr<const relational::Table> warehouse_table,
                        const std::string& fingerprint);
 
   /// Appends one auxiliary record (epoch/evict/audit) and syncs; marks the
@@ -252,6 +282,13 @@ class MediationEngine {
   /// Durability layer. persist_mu_ serializes WAL appends with their
   /// in-memory application, so recovery's replay order matches execution
   /// order; the atomics let hot paths check state without the lock.
+  /// Single-flight table: coalescing key -> in-flight execution. A leader
+  /// inserts its flight before executing and removes it before publishing;
+  /// followers that joined in between wait on the flight's condition
+  /// variable and share the leader's result.
+  mutable std::mutex inflight_mu_;
+  std::map<std::string, std::shared_ptr<InflightExecution>> inflight_;
+
   mutable std::mutex persist_mu_;
   std::unique_ptr<persist::StateLog> persist_;
   std::atomic<bool> persist_attached_{false};

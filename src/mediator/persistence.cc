@@ -141,7 +141,8 @@ Result<Warehouse::SnapshotEntry> DecodeWarehousePutRecord(
   Warehouse::SnapshotEntry entry;
   PIYE_ASSIGN_OR_RETURN(entry.fingerprint, dec.GetString());
   PIYE_ASSIGN_OR_RETURN(entry.epoch, dec.GetU64());
-  PIYE_ASSIGN_OR_RETURN(entry.table, GetTable(dec));
+  PIYE_ASSIGN_OR_RETURN(relational::Table table, GetTable(dec));
+  entry.table = std::make_shared<const relational::Table>(std::move(table));
   return entry;
 }
 
@@ -209,7 +210,7 @@ std::string EncodeSnapshot(const DurableState& state) {
   for (const auto& w : state.warehouse) {
     enc.PutString(w.fingerprint);
     enc.PutU64(w.epoch);
-    PutTable(enc, w.table);
+    PutTable(enc, *w.table);
   }
   enc.PutU64(state.cells.size());
   for (const auto& c : state.cells) PutCell(enc, c);
@@ -239,7 +240,8 @@ Result<DurableState> DecodeSnapshot(const std::string& blob) {
     Warehouse::SnapshotEntry w;
     PIYE_ASSIGN_OR_RETURN(w.fingerprint, dec.GetString());
     PIYE_ASSIGN_OR_RETURN(w.epoch, dec.GetU64());
-    PIYE_ASSIGN_OR_RETURN(w.table, GetTable(dec));
+    PIYE_ASSIGN_OR_RETURN(relational::Table table, GetTable(dec));
+    w.table = std::make_shared<const relational::Table>(std::move(table));
     state.warehouse.push_back(std::move(w));
   }
   PIYE_ASSIGN_OR_RETURN(uint64_t cell_count, dec.GetU64());

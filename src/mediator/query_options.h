@@ -49,6 +49,16 @@ struct QueryOptions {
   /// prefer a slow failure over shedding. The outcome still feeds the
   /// breaker's failure accounting.
   bool bypass_circuit_breaker = false;
+
+  /// Single-flight coalescing: when an identical execution (same query
+  /// fingerprint, same requester, same options) is already in flight, join
+  /// it and share its privacy-checked result instead of fanning out to the
+  /// sources again — one federated execution, one history entry, one
+  /// per-requester budget charge for the whole burst. Requests from
+  /// *different* requesters never coalesce (their budgets are accounted
+  /// separately), so this is budget-neutral by construction. Set false to
+  /// force a private execution (e.g. when measuring source behaviour).
+  bool coalesce = true;
 };
 
 }  // namespace mediator

@@ -97,5 +97,17 @@ std::string Table::ToString(size_t max_rows) const {
   return out;
 }
 
+size_t Table::ApproxBytes() const {
+  size_t bytes = sizeof(Table);
+  for (const auto& col : schema_.columns()) {
+    bytes += sizeof(Column) + col.name.capacity();
+  }
+  for (const auto& row : rows_) {
+    bytes += sizeof(Row);
+    for (const auto& value : row) bytes += value.ApproxBytes();
+  }
+  return bytes;
+}
+
 }  // namespace relational
 }  // namespace piye

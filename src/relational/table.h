@@ -46,6 +46,10 @@ class Table {
   /// Pretty-printed table (header + rows), for examples and benchmarks.
   std::string ToString(size_t max_rows = 50) const;
 
+  /// Rough in-memory footprint of the table (schema + all rows), used by
+  /// memory-bounded caches to account for what an entry costs to keep.
+  size_t ApproxBytes() const;
+
  private:
   Schema schema_;
   std::vector<Row> rows_;

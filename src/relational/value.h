@@ -68,6 +68,12 @@ class Value {
   /// The ColumnType matching this value; NULL has no type (returns error).
   Result<ColumnType> Type() const;
 
+  /// Rough in-memory footprint (the variant cell plus any string heap
+  /// allocation) — the unit of the warehouse's byte-budget accounting.
+  size_t ApproxBytes() const {
+    return sizeof(Value) + (is_string() ? AsString().capacity() : 0);
+  }
+
   /// Parses `text` as the given type ("NULL" yields a null value).
   static Result<Value> Parse(const std::string& text, ColumnType type);
 

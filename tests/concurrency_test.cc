@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -139,6 +141,192 @@ TEST(TraceTest, RegistryCountersAndJson) {
   EXPECT_EQ(registry.counter("queries"), 0u);
 }
 
+// Minimal strict JSON value parser for the ToJson round-trip test: accepts
+// exactly the RFC 8259 grammar for objects of strings/numbers/objects,
+// rejects bad escapes, unescaped control characters, and trailing input.
+// Returns false on any deviation; collects decoded object keys.
+class StrictJsonParser {
+ public:
+  explicit StrictJsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse() {
+    bool ok = ParseValue();
+    SkipWs();
+    return ok && pos_ == text_.size();
+  }
+
+  const std::vector<std::string>& keys() const { return keys_; }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        const char esc = text_[pos_ + 1];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 5 >= text_.size()) return false;
+            unsigned code = 0;
+            for (int i = 2; i < 6; ++i) {
+              const char h = text_[pos_ + i];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+              code = code * 16 + (std::isdigit(static_cast<unsigned char>(h))
+                                      ? h - '0'
+                                      : (std::tolower(h) - 'a') + 10);
+            }
+            if (code > 0x7f) return false;  // names here are ASCII
+            out->push_back(static_cast<char>(code));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return false;  // e.g. an unescaped backslash making "\p"
+        }
+        pos_ += 2;
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber() {
+    SkipWs();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t digits = 0;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) return false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      size_t frac = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++frac;
+      }
+      if (frac == 0) return false;  // "1." is not JSON
+    }
+    return pos_ > start;
+  }
+
+  bool ParseObject() {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      keys_.push_back(std::move(key));
+      if (!Consume(':')) return false;
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    if (text_[pos_] == '{') return ParseObject();
+    if (text_[pos_] == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    return ParseNumber();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::vector<std::string> keys_;
+};
+
+TEST(TraceTest, ToJsonRoundTripsHostileNamesThroughStrictParser) {
+  trace::MetricsRegistry registry;
+  // Names a careless emitter would corrupt: embedded quote, backslash,
+  // newline, and a control character.
+  const std::string quoted = "queries\"total\"";
+  const std::string slashed = "path\\to\\metric";
+  const std::string multiline = "line1\nline2";
+  const std::string control = std::string("ctl") + '\x01' + "x";
+  registry.AddCounter(quoted, 3);
+  registry.AddCounter(slashed, 7);
+  registry.AddCounter(multiline);
+  registry.AddCounter(control);
+  registry.RecordLatency(quoted, 42.0);
+
+  const std::string json = registry.ToJson();
+  StrictJsonParser parser(json);
+  ASSERT_TRUE(parser.Parse()) << json;
+
+  // Round trip: every hostile name must decode back to its original bytes.
+  const auto& keys = parser.keys();
+  auto has_key = [&keys](const std::string& want) {
+    return std::find(keys.begin(), keys.end(), want) != keys.end();
+  };
+  EXPECT_TRUE(has_key(quoted)) << json;
+  EXPECT_TRUE(has_key(slashed)) << json;
+  EXPECT_TRUE(has_key(multiline)) << json;
+  EXPECT_TRUE(has_key(control)) << json;
+  EXPECT_NE(json.find("\"queries\\\"total\\\"\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"path\\\\to\\\\metric\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\u0001"), std::string::npos) << json;
+}
+
+TEST(TraceTest, ToJsonEmitsExplicitZerosForEmptyHistograms) {
+  trace::MetricsRegistry registry;
+  registry.DeclareLatency("declared.but.never.recorded");
+  const std::string json = registry.ToJson();
+  StrictJsonParser parser(json);
+  ASSERT_TRUE(parser.Parse()) << json;
+  const std::string want =
+      "\"declared.but.never.recorded\": {\"count\": 0, "
+      "\"sum_micros\": 0.000, \"min_micros\": 0.000, \"max_micros\": 0.000, "
+      "\"mean_micros\": 0.000, \"p50_micros\": 0.000, \"p95_micros\": 0.000, "
+      "\"p99_micros\": 0.000}";
+  EXPECT_NE(json.find(want), std::string::npos) << json;
+  // The snapshot accessor agrees: empty histogram, all-zero summary.
+  EXPECT_EQ(registry.latency("declared.but.never.recorded").count(), 0u);
+  EXPECT_EQ(registry.latency("declared.but.never.recorded").max_micros(), 0.0);
+}
+
 TEST(TraceTest, RegistryIsSafeForConcurrentWriters) {
   trace::MetricsRegistry registry;
   Executor pool(4);
@@ -210,7 +398,7 @@ TEST(EngineFanoutTest, ParallelOutputIsByteIdenticalToSerial) {
   ASSERT_TRUE(rp.ok()) << rp.status().ToString();
   EXPECT_EQ(rs->sources_answered, rp->sources_answered);
   EXPECT_EQ(rs->sources_skipped, rp->sources_skipped);
-  EXPECT_EQ(TableBytes(rs->table), TableBytes(rp->table));
+  EXPECT_EQ(TableBytes(rs->table()), TableBytes(rp->table()));
   EXPECT_DOUBLE_EQ(rs->combined_privacy_loss, rp->combined_privacy_loss);
 }
 
@@ -223,7 +411,7 @@ TEST(EngineFanoutTest, DeterministicAcrossThreadCounts) {
     auto result = engine->Execute(query, mediator::QueryOptions{});
     ASSERT_TRUE(result.ok()) << "threads=" << threads << ": "
                              << result.status().ToString();
-    const std::string bytes = TableBytes(result->table);
+    const std::string bytes = TableBytes(result->table());
     if (reference.empty()) {
       reference = bytes;
     } else {
@@ -244,7 +432,7 @@ TEST(EngineFanoutTest, RepeatedQueryReproducesIdenticalPerturbation) {
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(second.ok());
   EXPECT_FALSE(second->from_warehouse);  // warehouse disabled in BuildEngine
-  EXPECT_EQ(TableBytes(first->table), TableBytes(second->table));
+  EXPECT_EQ(TableBytes(first->table()), TableBytes(second->table()));
 }
 
 TEST(EngineFanoutTest, FaultySourcesAreSkippedWithReasons) {
@@ -386,8 +574,12 @@ TEST(EngineFanoutTest, ConcurrentExecuteCallersShareOneEngine) {
       const auto query = MakeQuery("<select>patient_id</select><where>sex = '" +
                                    std::string(c % 2 == 0 ? "F" : "M") +
                                    "'</where>");
-      auto result = engine->Execute(query, mediator::QueryOptions{});
-      if (result.ok() && result->table.num_rows() > 0) ok_count.fetch_add(1);
+      // Callers share two query shapes; force private executions so each
+      // caller exercises its own fan-out (coalescing has its own tests).
+      mediator::QueryOptions opts;
+      opts.coalesce = false;
+      auto result = engine->Execute(query, opts);
+      if (result.ok() && result->table().num_rows() > 0) ok_count.fetch_add(1);
     });
   }
   for (auto& t : callers) t.join();

@@ -50,8 +50,8 @@ TEST_F(ClinicalWorldTest, QueryXmlEndToEnd) {
       <where>diagnosis = 'diabetes'</where>
     </query>)");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_GT(result->table.num_rows(), 0u);
-  for (const auto& row : result->table.rows()) {
+  EXPECT_GT(result->table().num_rows(), 0u);
+  for (const auto& row : result->table().rows()) {
     EXPECT_EQ(row[0].AsString(), "diabetes");
   }
 }
@@ -64,7 +64,7 @@ TEST_F(ClinicalWorldTest, NamesNeverLeaveAnySource) {
   // The loose matcher maps "name" to patientName at the pharmacy too; every
   // source must deny it, leaving only coarsened dob.
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  for (const auto& col : result->table.schema().columns()) {
+  for (const auto& col : result->table().schema().columns()) {
     EXPECT_EQ(col.name.find("name"), std::string::npos) << col.name;
     EXPECT_EQ(col.name.find("Name"), std::string::npos) << col.name;
   }
@@ -278,11 +278,11 @@ TEST(OutbreakTest, PrivacyPreservingSharingStillDetects) {
 
   // Reassemble the integrated daily curve and detect.
   std::map<int64_t, double> by_day;
-  auto day_idx = result->table.schema().IndexOf("day");
-  auto sum_idx = result->table.schema().IndexOf("sum_cases");
-  ASSERT_TRUE(day_idx.ok()) << result->table.schema().ToString();
-  ASSERT_TRUE(sum_idx.ok()) << result->table.schema().ToString();
-  for (const auto& row : result->table.rows()) {
+  auto day_idx = result->table().schema().IndexOf("day");
+  auto sum_idx = result->table().schema().IndexOf("sum_cases");
+  ASSERT_TRUE(day_idx.ok()) << result->table().schema().ToString();
+  ASSERT_TRUE(sum_idx.ok()) << result->table().schema().ToString();
+  for (const auto& row : result->table().rows()) {
     by_day[row[*day_idx].AsInt()] += row[*sum_idx].AsDouble();
   }
   std::vector<double> curve;
@@ -382,7 +382,7 @@ TEST(WarehouseMinerTest, EndToEndMiningOnIntegratedResults) {
       <select>diagnosis</select><select>sex</select><select>dob</select>
     </query>)");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  auto itemsets = WarehouseMiner::FrequentItemsets(result->table, 0.1, 2);
+  auto itemsets = WarehouseMiner::FrequentItemsets(result->table(), 0.1, 2);
   ASSERT_TRUE(itemsets.ok());
   EXPECT_FALSE(itemsets->empty());
   // Items are over released (coarsened) values: any dob item is a decade

@@ -50,14 +50,39 @@ TEST(WarehouseTest, FreshnessWindow) {
   Table t(Schema{Column{"x", ColumnType::kInt64}});
   (void)t.AppendRow(Row{Value::Int(1)});
   warehouse.Put("q1", t, /*epoch=*/5);
-  EXPECT_TRUE(warehouse.Get("q1", 5, 0).has_value());
-  EXPECT_TRUE(warehouse.Get("q1", 6, 1).has_value());
-  EXPECT_FALSE(warehouse.Get("q1", 7, 1).has_value());
-  EXPECT_FALSE(warehouse.Get("missing", 5, 10).has_value());
+  EXPECT_NE(warehouse.Get("q1", 5, 0), nullptr);
+  EXPECT_NE(warehouse.Get("q1", 6, 1), nullptr);
+  EXPECT_EQ(warehouse.Get("q1", 7, 1), nullptr);
+  EXPECT_EQ(warehouse.Get("missing", 5, 10), nullptr);
   EXPECT_EQ(warehouse.hits(), 2u);
   EXPECT_EQ(warehouse.misses(), 2u);
   warehouse.EvictOlderThan(6);
   EXPECT_EQ(warehouse.size(), 0u);
+}
+
+TEST(WarehouseTest, PutKeepsMaxEpochEntry) {
+  Warehouse warehouse;
+  Table fresh(Schema{Column{"x", ColumnType::kInt64}});
+  (void)fresh.AppendRow(Row{Value::Int(2)});
+  Table stale(Schema{Column{"x", ColumnType::kInt64}});
+  (void)stale.AppendRow(Row{Value::Int(1)});
+
+  warehouse.Put("q1", fresh, /*epoch=*/7);
+  // A stale writer (e.g. a recovery replay of an old WAL record) must not
+  // roll the materialization back.
+  warehouse.Put("q1", stale, /*epoch=*/3);
+  auto handle = warehouse.Get("q1", 7, 0);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(handle->row(0)[0].AsInt(), 2);
+
+  // Same-epoch and newer-epoch puts replace as usual.
+  Table newer(Schema{Column{"x", ColumnType::kInt64}});
+  (void)newer.AppendRow(Row{Value::Int(9)});
+  warehouse.Put("q1", newer, /*epoch=*/8);
+  handle = warehouse.Get("q1", 8, 0);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(handle->row(0)[0].AsInt(), 9);
+  EXPECT_EQ(warehouse.size(), 1u);
 }
 
 // --- Privacy control ---
@@ -163,8 +188,8 @@ TEST_F(EngineTest, IntegratesAcrossSources) {
   // Only the hospital has a diagnosis column; pharmacy/lab are skipped.
   EXPECT_EQ(result->sources_answered.size(), 1u);
   EXPECT_EQ(result->sources_skipped.size(), 2u);
-  EXPECT_GT(result->table.num_rows(), 0u);
-  EXPECT_TRUE(result->table.schema().Contains("_source"));
+  EXPECT_GT(result->table().num_rows(), 0u);
+  EXPECT_TRUE(result->table().schema().Contains("_source"));
 }
 
 TEST_F(EngineTest, SharedAttributeFansOut) {
@@ -187,8 +212,8 @@ TEST_F(EngineTest, DedupByKeyRemovesCrossSourceDuplicates) {
   engine_->AdvanceEpoch();  // force the warehouse entry stale
   auto deduped = engine_->Execute(MakeQuery(body), {"patient_id"});
   ASSERT_TRUE(deduped.ok()) << deduped.status().ToString();
-  EXPECT_LT(deduped->table.num_rows(), with_dups->table.num_rows());
-  EXPECT_GT(deduped->table.num_rows(), 0u);
+  EXPECT_LT(deduped->table().num_rows(), with_dups->table().num_rows());
+  EXPECT_GT(deduped->table().num_rows(), 0u);
 }
 
 TEST_F(EngineTest, WarehouseServesRepeatQuery) {
@@ -199,7 +224,7 @@ TEST_F(EngineTest, WarehouseServesRepeatQuery) {
   auto second = engine_->Execute(q);
   ASSERT_TRUE(second.ok());
   EXPECT_TRUE(second->from_warehouse);
-  EXPECT_EQ(second->table.num_rows(), first->table.num_rows());
+  EXPECT_EQ(second->table().num_rows(), first->table().num_rows());
 }
 
 TEST_F(EngineTest, HistoryRecordsQueries) {

@@ -466,7 +466,7 @@ TEST_P(SystemInvariantTest, DeniedColumnsNeverLeakWhateverTheQuery) {
     }
     auto result = system.Query(q);
     if (!result.ok()) continue;  // refusals are always acceptable
-    for (const auto& col : result->table.schema().columns()) {
+    for (const auto& col : result->table().schema().columns()) {
       // Patient names are denied at every source; they must never appear,
       // no matter how the requester phrases the query.
       EXPECT_EQ(strings::ToLower(col.name).find("name"), std::string::npos)
@@ -474,9 +474,9 @@ TEST_P(SystemInvariantTest, DeniedColumnsNeverLeakWhateverTheQuery) {
     }
     // Raw zips (5-digit ints) must never appear either: zip is
     // generalized-only.
-    auto zip_idx = result->table.schema().IndexOf("zip");
+    auto zip_idx = result->table().schema().IndexOf("zip");
     if (zip_idx.ok()) {
-      EXPECT_EQ(result->table.schema().column(*zip_idx).type,
+      EXPECT_EQ(result->table().schema().column(*zip_idx).type,
                 relational::ColumnType::kString);
     }
     // Marketing must never succeed.

@@ -19,6 +19,7 @@
 #include "core/scenario.h"
 #include "mediator/circuit_breaker.h"
 #include "mediator/engine.h"
+#include "mediator/persistence.h"
 #include "persist/wal.h"
 #include "source/remote_source.h"
 
@@ -169,6 +170,52 @@ TEST(RecoveryTest, JournaledEvictionSurvivesRestart) {
   ASSERT_TRUE(revived->Recover(dir).ok());
   EXPECT_EQ(revived->warehouse()->size(), 0u);
   EXPECT_EQ(revived->epoch(), 2u);
+}
+
+TEST(RecoveryTest, ReplayedWarehousePutDoesNotRollBackNewerEntry) {
+  // Recovery replays warehouse-put WAL records through the same
+  // Warehouse::Put the live engine uses. A duplicated or re-applied segment
+  // can present an *older* materialization after a newer one has already
+  // been installed; the warehouse must keep the max-epoch entry.
+  auto make_table = [](int64_t marker) {
+    relational::Table t(relational::Schema{
+        relational::Column{"x", relational::ColumnType::kInt64}});
+    EXPECT_TRUE(t.AppendRow(relational::Row{relational::Value::Int(marker)}).ok());
+    return t;
+  };
+
+  // Round-trip both records through the real recovery codec.
+  const std::string fresh_payload =
+      mediator::EncodeWarehousePutRecord("fp", /*epoch=*/6, make_table(6));
+  const std::string stale_payload =
+      mediator::EncodeWarehousePutRecord("fp", /*epoch=*/2, make_table(2));
+  auto fresh = mediator::DecodeWarehousePutRecord(fresh_payload);
+  auto stale = mediator::DecodeWarehousePutRecord(stale_payload);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(stale.ok());
+
+  trace::MetricsRegistry metrics;
+  mediator::Warehouse warehouse;
+  warehouse.set_metrics(&metrics);
+
+  // Adversarial replay order: newer record applied first, stale one after.
+  warehouse.Put(fresh->fingerprint, fresh->table, fresh->epoch);
+  warehouse.Put(stale->fingerprint, stale->table, stale->epoch);
+
+  auto handle = warehouse.Get("fp", /*current_epoch=*/6, /*max_age=*/0);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(handle->row(0)[0].AsInt(), 6);  // epoch-6 table, not rolled back
+  EXPECT_EQ(warehouse.size(), 1u);
+  EXPECT_EQ(metrics.counter("warehouse.stale_put_drops"), 1u);
+  EXPECT_EQ(metrics.counter("warehouse.puts"), 1u);
+
+  // Replaying the newer record again (same epoch) is idempotent-by-value:
+  // it replaces with an identical materialization rather than dropping it.
+  warehouse.Put(fresh->fingerprint, fresh->table, fresh->epoch);
+  EXPECT_EQ(warehouse.size(), 1u);
+  handle = warehouse.Get("fp", 6, 0);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(handle->row(0)[0].AsInt(), 6);
 }
 
 TEST(RecoveryTest, SnapshotRotationPreservesStateAcrossRestart) {
