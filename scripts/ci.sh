@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # The repo's CI entry point: a plain release-ish build with the full test
 # suite, then the same suite under AddressSanitizer (PIYE_SANITIZE=address),
-# then the concurrency suites under ThreadSanitizer (PIYE_SANITIZE=thread).
+# then the concurrency suites under ThreadSanitizer (PIYE_SANITIZE=thread),
+# then the parser/overload suites under UBSan (PIYE_SANITIZE=undefined).
 # The ASan leg matters for the durability layer — the WAL/recovery code
 # paths shuffle raw buffers and file descriptors, exactly where ASan earns
 # its keep. The TSan leg guards the lock-based hot paths: the sharded
-# warehouse, the engine's single-flight coalescing and fragment fan-out, and
-# the striped metrics registry. Usage:
+# warehouse, the engine's single-flight coalescing and fragment fan-out, the
+# admission pipeline and chaos/soak harness, and the striped metrics
+# registry. The UBSan leg covers the arithmetic-heavy admission/backoff code
+# and the XML parser's malformed-input fuzz loop. Usage:
 #
-#   scripts/ci.sh              # build + ctest + ASan leg + TSan leg
-#   PIYE_CI_SKIP_ASAN=1 scripts/ci.sh   # skip the ASan leg
-#   PIYE_CI_SKIP_TSAN=1 scripts/ci.sh   # skip the TSan leg
+#   scripts/ci.sh              # build + ctest + ASan leg + TSan leg + UBSan leg
+#   PIYE_CI_SKIP_ASAN=1 scripts/ci.sh    # skip the ASan leg
+#   PIYE_CI_SKIP_TSAN=1 scripts/ci.sh    # skip the TSan leg
+#   PIYE_CI_SKIP_UBSAN=1 scripts/ci.sh   # skip the UBSan leg
 #
 # Exits non-zero on any build failure, test failure, or sanitizer report.
 set -euo pipefail
@@ -18,15 +22,15 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc)"
 
-echo "=== [1/3] build + test ==="
+echo "=== [1/4] build + test ==="
 cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
 if [[ "${PIYE_CI_SKIP_ASAN:-0}" == "1" ]]; then
-  echo "=== [2/3] ASan leg skipped (PIYE_CI_SKIP_ASAN=1) ==="
+  echo "=== [2/4] ASan leg skipped (PIYE_CI_SKIP_ASAN=1) ==="
 else
-  echo "=== [2/3] AddressSanitizer build + test ==="
+  echo "=== [2/4] AddressSanitizer build + test ==="
   # halt_on_error makes a sanitizer report fail the test that produced it;
   # leak detection stays off to match scripts/sanitize.sh (ptrace is often
   # unavailable in CI containers).
@@ -38,19 +42,37 @@ else
 fi
 
 if [[ "${PIYE_CI_SKIP_TSAN:-0}" == "1" ]]; then
-  echo "=== [3/3] TSan leg skipped (PIYE_CI_SKIP_TSAN=1) ==="
+  echo "=== [3/4] TSan leg skipped (PIYE_CI_SKIP_TSAN=1) ==="
 else
-  echo "=== [3/3] ThreadSanitizer build + concurrency suites ==="
+  echo "=== [3/4] ThreadSanitizer build + concurrency suites ==="
   # The TSan leg runs the suites that exercise real lock/atomic contention:
   # the sharded warehouse + single-flight scale suite, the engine fan-out
-  # suite, and the crash/recovery suite (durable journaling under Execute).
+  # suite, the admission/cancellation suite and chaos/soak harness, and the
+  # crash/recovery suite (durable journaling under Execute).
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
   cmake -B "$ROOT/build-threadsan" -S "$ROOT" -DPIYE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ROOT/build-threadsan" -j "$JOBS" --target \
-    warehouse_scale_test concurrency_test recovery_test
+    warehouse_scale_test concurrency_test recovery_test admission_test \
+    chaos_soak_test
   ctest --test-dir "$ROOT/build-threadsan" --output-on-failure -j "$JOBS" \
-    -R '^(warehouse_scale_test|concurrency_test|recovery_test)$'
+    -R '^(warehouse_scale_test|concurrency_test|recovery_test|admission_test|chaos_soak_test)$'
+fi
+
+if [[ "${PIYE_CI_SKIP_UBSAN:-0}" == "1" ]]; then
+  echo "=== [4/4] UBSan leg skipped (PIYE_CI_SKIP_UBSAN=1) ==="
+else
+  echo "=== [4/4] UndefinedBehaviorSanitizer build + parser/overload suites ==="
+  # UBSan earns its keep where the arithmetic lives: token-bucket refill and
+  # retry-after math, backoff shifting, and the XML parser driven by the
+  # seeded malformed-input fuzz loop.
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+  cmake -B "$ROOT/build-ubsan" -S "$ROOT" -DPIYE_SANITIZE=undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$ROOT/build-ubsan" -j "$JOBS" --target \
+    xml_test admission_test chaos_soak_test common_test
+  ctest --test-dir "$ROOT/build-ubsan" --output-on-failure -j "$JOBS" \
+    -R '^(xml_test|admission_test|chaos_soak_test|common_test)$'
 fi
 
 echo "=== CI green ==="

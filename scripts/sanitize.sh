@@ -1,18 +1,19 @@
 #!/usr/bin/env bash
 # CI-style sanitizer run: configures a dedicated build tree with
-# PIYE_SANITIZE=<thread|address>, builds everything, and runs the full test
-# suite under the sanitizer. Usage:
+# PIYE_SANITIZE=<thread|address|undefined>, builds everything, and runs the
+# full test suite under the sanitizer. Usage:
 #
 #   scripts/sanitize.sh            # TSan (the default)
 #   scripts/sanitize.sh address    # ASan
+#   scripts/sanitize.sh undefined  # UBSan
 #
 # Exits non-zero on any build failure, test failure, or sanitizer report.
 set -euo pipefail
 
 SAN="${1:-thread}"
 case "$SAN" in
-  thread|address) ;;
-  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+  thread|address|undefined) ;;
+  *) echo "usage: $0 [thread|address|undefined]" >&2; exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,6 +22,7 @@ BUILD="$ROOT/build-${SAN}san"
 # halt_on_error makes a sanitizer report fail the test that produced it.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 
 cmake -B "$BUILD" -S "$ROOT" -DPIYE_SANITIZE="$SAN" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j "$(nproc)"

@@ -1,0 +1,84 @@
+#include "common/cancel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace piye {
+
+namespace internal {
+
+struct CancelState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool cancelled = false;
+  Status reason;
+};
+
+}  // namespace internal
+
+bool CancelToken::cancelled() const {
+  if (state_ != nullptr) {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->cancelled) return true;
+  }
+  return has_deadline() && std::chrono::steady_clock::now() >= deadline_;
+}
+
+Status CancelToken::status() const {
+  if (state_ != nullptr) {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->cancelled) return state_->reason;
+  }
+  if (has_deadline() && std::chrono::steady_clock::now() >= deadline_) {
+    return Status::DeadlineExceeded("the query's deadline has passed");
+  }
+  return Status::OK();
+}
+
+CancelToken CancelToken::WithDeadline(TimePoint deadline) const {
+  CancelToken out = *this;
+  out.deadline_ = std::min(deadline_, deadline);
+  return out;
+}
+
+bool CancelToken::SleepFor(std::chrono::microseconds duration) const {
+  const auto now = std::chrono::steady_clock::now();
+  // Wake at the deadline even mid-sleep: a hung-source simulation or a retry
+  // backoff must not outlive the query that asked for it.
+  const TimePoint wake = std::min(now + duration, deadline_);
+  if (state_ == nullptr) {
+    if (wake > now) std::this_thread::sleep_until(wake);
+    return !has_deadline() || std::chrono::steady_clock::now() < deadline_;
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait_until(lock, wake, [this] { return state_->cancelled; });
+  if (state_->cancelled) return false;
+  return !has_deadline() || std::chrono::steady_clock::now() < deadline_;
+}
+
+CancelSource::CancelSource() : state_(std::make_shared<internal::CancelState>()) {}
+
+CancelToken CancelSource::token() const {
+  CancelToken t;
+  t.state_ = state_;
+  return t;
+}
+
+void CancelSource::RequestCancel(Status reason) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->cancelled) return;
+    state_->cancelled = true;
+    state_->reason = std::move(reason);
+  }
+  state_->cv.notify_all();
+}
+
+bool CancelSource::cancel_requested() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->cancelled;
+}
+
+}  // namespace piye

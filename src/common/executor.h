@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
+
 namespace piye {
 
 /// Fixed-size thread pool used by the mediation engine to fan query
@@ -54,6 +56,21 @@ class Executor {
     std::future<R> future = task->get_future();
     Enqueue([task]() { (*task)(); });
     return future;
+  }
+
+  /// Cancellation-aware variant for fire-and-observe tasks: if `token` has
+  /// fired by the time a worker dequeues the task, the body is skipped
+  /// entirely (the future still becomes ready) — a cancelled query's
+  /// queued-but-unstarted fragments never dial their source. A task already
+  /// running is not preempted; it is expected to poll the same token.
+  template <typename F>
+  std::future<void> Submit(const CancelToken& token, F&& fn) {
+    static_assert(std::is_void_v<std::invoke_result_t<std::decay_t<F>>>,
+                  "cancellable Submit requires a void() task");
+    return Submit([token, fn = std::forward<F>(fn)]() mutable {
+      if (token.cancelled()) return;
+      fn();
+    });
   }
 
   /// Runs fn(0) .. fn(n-1) across the pool and the calling thread, returning

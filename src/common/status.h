@@ -23,8 +23,10 @@ enum class StatusCode {
   kOutOfRange,
   kNotImplemented,
   kInternal,
-  kUnavailable,       ///< transient failure of an autonomous remote source
-  kDeadlineExceeded,  ///< a per-source or per-query deadline expired
+  kUnavailable,        ///< transient failure of an autonomous remote source
+  kDeadlineExceeded,   ///< a per-source or per-query deadline expired
+  kResourceExhausted,  ///< load shed: admission refused the query; retry later
+  kCancelled,          ///< the caller cooperatively cancelled the operation
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -73,8 +75,15 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
   bool IsPrivacyViolation() const { return code_ == StatusCode::kPrivacyViolation; }
   bool IsPermissionDenied() const { return code_ == StatusCode::kPermissionDenied; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -82,6 +91,10 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDeadlineExceeded() const { return code_ == StatusCode::kDeadlineExceeded; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -1,0 +1,243 @@
+#include "mediator/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace piye {
+namespace mediator {
+
+namespace {
+
+/// Explicit RequestCancel is detected by polling at this granularity while a
+/// waiter is queued (its deadline, by contrast, is honoured exactly via
+/// wait_until). Admission wakes from a freed slot are cv-notified and
+/// therefore immediate.
+constexpr std::chrono::milliseconds kCancelPoll{2};
+
+}  // namespace
+
+// --- TokenBucket ---
+
+TokenBucket::TokenBucket(double tokens_per_second, double burst)
+    : rate_(std::max(0.0, tokens_per_second)),
+      burst_(burst > 0.0 ? burst : std::max(1.0, rate_)),
+      tokens_(burst_) {}
+
+void TokenBucket::RefillLocked(TimePoint now) const {
+  if (!primed_) {
+    primed_ = true;
+    last_refill_ = now;
+    return;
+  }
+  if (now <= last_refill_) return;  // steady_clock, but stay defensive
+  const double elapsed =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now - last_refill_)
+          .count();
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  last_refill_ = now;
+}
+
+bool TokenBucket::TryConsume(TimePoint now) {
+  RefillLocked(now);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+uint64_t TokenBucket::RetryAfterMillis(TimePoint now) const {
+  RefillLocked(now);
+  if (tokens_ >= 1.0) return 0;
+  if (rate_ <= 0.0) return 1000;  // rate off ⇒ nothing ever refills; guess
+  const double seconds = (1.0 - tokens_) / rate_;
+  return static_cast<uint64_t>(std::ceil(seconds * 1000.0));
+}
+
+double TokenBucket::tokens(TimePoint now) const {
+  RefillLocked(now);
+  return tokens_;
+}
+
+// --- FairShareQueue ---
+
+void FairShareQueue::SetWeight(const std::string& requester, double weight) {
+  requesters_[requester].weight = std::max(1e-6, weight);
+}
+
+bool FairShareQueue::Push(uint64_t id, const std::string& requester,
+                          TimePoint deadline) {
+  if (size_ >= max_depth_) return false;  // LIFO shed: the newcomer loses
+  PerRequester& r = requesters_[requester];
+  if (r.waiters.empty()) {
+    // idle → active: no banked credit from the idle period.
+    r.pass = std::max(r.pass, virtual_time_);
+  }
+  Waiter w;
+  w.id = id;
+  w.deadline = deadline;
+  w.seq = next_seq_++;
+  // Insert keeping (deadline, seq) order — earliest deadline served first.
+  auto it = std::upper_bound(r.waiters.begin(), r.waiters.end(), w,
+                             [](const Waiter& a, const Waiter& b) {
+                               if (a.deadline != b.deadline)
+                                 return a.deadline < b.deadline;
+                               return a.seq < b.seq;
+                             });
+  r.waiters.insert(it, w);
+  ++size_;
+  return true;
+}
+
+bool FairShareQueue::Pop(uint64_t* id) {
+  if (size_ == 0) return false;
+  std::map<std::string, PerRequester>::iterator best = requesters_.end();
+  for (auto it = requesters_.begin(); it != requesters_.end(); ++it) {
+    if (it->second.waiters.empty()) continue;
+    if (best == requesters_.end() || it->second.pass < best->second.pass) {
+      best = it;  // map order makes the tie-break lexicographic: total order
+    }
+  }
+  PerRequester& r = best->second;
+  virtual_time_ = r.pass;
+  r.pass += 1.0 / r.weight;
+  *id = r.waiters.front().id;
+  r.waiters.pop_front();
+  --size_;
+  return true;
+}
+
+bool FairShareQueue::Remove(uint64_t id) {
+  for (auto& [name, r] : requesters_) {
+    for (auto it = r.waiters.begin(); it != r.waiters.end(); ++it) {
+      if (it->id == id) {
+        r.waiters.erase(it);
+        --size_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// --- AdmissionController ---
+
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         trace::MetricsRegistry* metrics)
+    : config_(std::move(config)), metrics_(metrics), queue_(config_.max_queue_depth) {
+  for (const auto& [requester, weight] : config_.requester_weights) {
+    queue_.SetWeight(requester, weight);
+  }
+}
+
+size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void AdmissionController::Permit::Release() {
+  if (controller_ == nullptr) return;
+  controller_->Release();
+  controller_ = nullptr;
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = 0;
+  if (queue_.Pop(&id)) {
+    // The slot transfers to the fair-share winner; inflight_ is unchanged.
+    admitted_[id] = true;
+    cv_.notify_all();
+  } else {
+    --inflight_;
+  }
+}
+
+Result<AdmissionController::Permit> AdmissionController::Admit(
+    const std::string& requester, const CancelToken& token) {
+  {
+    // A deadline that has already passed is rejected here, before the query
+    // touches the bucket, the queue, or anything downstream.
+    Status live = token.Check();
+    if (!live.ok()) {
+      metrics_->AddCounter("engine.cancelled");
+      return live;
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+
+  if (config_.tokens_per_second > 0.0) {
+    auto it = buckets_
+                  .try_emplace(requester, config_.tokens_per_second,
+                               config_.bucket_burst)
+                  .first;
+    if (!it->second.TryConsume(now)) {
+      metrics_->AddCounter("engine.shed");
+      return Status::ResourceExhausted(
+          "admission: requester '" + requester +
+          "' exceeded its rate limit; retry after ~" +
+          std::to_string(it->second.RetryAfterMillis(now)) + " ms");
+    }
+  }
+
+  if (config_.max_inflight == 0 ||
+      (inflight_ < config_.max_inflight && queue_.empty())) {
+    ++inflight_;
+    metrics_->AddCounter("engine.admitted");
+    return Permit(this);
+  }
+
+  const uint64_t id = next_waiter_id_++;
+  if (!queue_.Push(id, requester, token.deadline())) {
+    metrics_->AddCounter("engine.shed");
+    // Retry-after heuristic: every queued waiter ahead plus this one needs a
+    // slot; with no service-time model, a millisecond per waiter is a usable
+    // lower bound for a backoff hint.
+    return Status::ResourceExhausted(
+        "admission queue saturated (" + std::to_string(queue_.size()) +
+        " waiting, " + std::to_string(inflight_) + " in flight); retry after ~" +
+        std::to_string(queue_.size() + 1) + " ms");
+  }
+  metrics_->AddCounter("engine.queued");
+  const auto wait_start = now;
+
+  for (;;) {
+    auto wake = std::chrono::steady_clock::now() + kCancelPoll;
+    if (token.has_deadline()) wake = std::min(wake, token.deadline());
+    cv_.wait_until(lock, wake);
+    if (auto it = admitted_.find(id); it != admitted_.end()) {
+      admitted_.erase(it);
+      metrics_->AddCounter("engine.admitted");
+      metrics_->RecordLatency(
+          "engine.admission_wait",
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - wait_start)
+              .count());
+      return Permit(this);
+    }
+    if (token.cancelled()) {
+      if (!queue_.Remove(id)) {
+        // Raced with Release: the slot was already transferred to us. Hand
+        // it straight on — this query is abandoning it.
+        admitted_.erase(id);
+        uint64_t next = 0;
+        if (queue_.Pop(&next)) {
+          admitted_[next] = true;
+          cv_.notify_all();
+        } else {
+          --inflight_;
+        }
+      }
+      metrics_->AddCounter("engine.cancelled");
+      return token.status();
+    }
+  }
+}
+
+}  // namespace mediator
+}  // namespace piye

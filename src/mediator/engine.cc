@@ -21,9 +21,15 @@ namespace {
 constexpr std::chrono::microseconds kRetryBackoffBase{200};
 constexpr std::chrono::microseconds kRetryBackoffCap{5000};
 
-/// A deadline of "none" is the steady clock's far future.
+/// How often a single-flight follower with a live CancelToken re-checks it
+/// while waiting on the leader (the token's deadline is honoured exactly via
+/// wait_until; this bounds only the explicit-cancel reaction time).
+constexpr std::chrono::milliseconds kCancelPollInterval{2};
+
+/// A deadline of "none" is the steady clock's far future. Negative values
+/// were rejected by ValidateOptions before this runs.
 std::chrono::steady_clock::time_point ComputeDeadline(
-    std::chrono::steady_clock::time_point start, uint64_t deadline_ms) {
+    std::chrono::steady_clock::time_point start, int64_t deadline_ms) {
   if (deadline_ms == 0) return std::chrono::steady_clock::time_point::max();
   return start + std::chrono::milliseconds(deadline_ms);
 }
@@ -96,7 +102,8 @@ MediationEngine::MediationEngine(Options options)
     : options_(options),
       warehouse_(Warehouse::Options{options.warehouse_shards,
                                     options.warehouse_max_bytes}),
-      control_(options.max_combined_loss, options.max_interval_loss) {
+      control_(options.max_combined_loss, options.max_interval_loss),
+      admission_(options.admission, &metrics_) {
   warehouse_.set_metrics(&metrics_);
   if (options_.worker_threads > 0) {
     executor_ = std::make_unique<Executor>(options_.worker_threads);
@@ -454,17 +461,66 @@ MediationEngine::HealthReport MediationEngine::Health() const {
   }
   report.ready = report.schema_ready && report.persistence_ok &&
                  report.sources_total > 0 && report.sources_admitting > 0;
+  report.admission_inflight = admission_.inflight();
+  report.admission_queue_depth = admission_.queue_depth();
+  report.admitted_total = metrics_.counter("engine.admitted");
+  report.shed_total = metrics_.counter("engine.shed");
+  report.cancelled_total = metrics_.counter("engine.cancelled");
   return report;
+}
+
+Status MediationEngine::ValidateOptions(const QueryOptions& options) const {
+  if (options.deadline_ms < 0) {
+    return Status::InvalidArgument(
+        "QueryOptions.deadline_ms must be >= 0 (0 = no deadline), got " +
+        std::to_string(options.deadline_ms));
+  }
+  if (options.max_retries > QueryOptions::kMaxRetriesLimit) {
+    return Status::InvalidArgument(
+        "QueryOptions.max_retries " + std::to_string(options.max_retries) +
+        " exceeds the limit of " +
+        std::to_string(QueryOptions::kMaxRetriesLimit) +
+        " (a runaway retry count amplifies overload)");
+  }
+  if (options.min_sources > sources_.size()) {
+    return Status::InvalidArgument(
+        "QueryOptions.min_sources " + std::to_string(options.min_sources) +
+        " exceeds the " + std::to_string(sources_.size()) +
+        " registered source(s); the quorum can never be met");
+  }
+  return Status::OK();
 }
 
 void MediationEngine::RunFragmentWithRetry(
     const source::RemoteSource* src, const source::PiqlQuery& fragment,
     const QueryOptions& options, std::chrono::steady_clock::time_point deadline,
-    trace::MetricsRegistry* metrics, FragmentOutcome* outcome) {
+    const CancelToken& cancel, trace::MetricsRegistry* metrics,
+    FragmentOutcome* outcome) {
   trace::ScopedSpan span("source-fragment", nullptr, metrics);
+  // The caller gave up (explicit cancel or whole-query deadline): the source
+  // is not to blame, so the breaker hears nothing about this fragment.
+  auto abandoned_by_caller = [&] {
+    outcome->status = options.cancel.status();
+    outcome->breaker_reported.store(true);  // suppress blame
+    metrics->AddCounter("engine.fragments_cancelled");
+  };
   for (uint32_t attempt = 0;; ++attempt) {
+    if (cancel.cancelled()) {
+      if (options.cancel.cancelled()) {
+        abandoned_by_caller();
+        return;
+      }
+      // Only the per-source fan-out deadline fired: the source *is* slow,
+      // which is exactly what the breaker exists to count.
+      outcome->status = Status::DeadlineExceeded(
+          "per-source deadline exceeded before attempt " +
+          std::to_string(attempt + 1));
+      metrics->AddCounter("engine.fragments_failed");
+      metrics->AddCounter("engine.fragments_deadline_exceeded");
+      break;
+    }
     metrics->AddCounter("engine.fragment_attempts");
-    auto result = src->ExecuteFragment(fragment);
+    auto result = src->ExecuteFragment(fragment, cancel);
     if (result.ok()) {
       outcome->status = Status::OK();
       outcome->result = std::move(result).value();
@@ -472,10 +528,21 @@ void MediationEngine::RunFragmentWithRetry(
       break;
     }
     outcome->status = result.status();
+    if (result.status().IsCancelled() ||
+        (result.status().IsDeadlineExceeded() && options.cancel.cancelled())) {
+      abandoned_by_caller();
+      return;
+    }
     // Only transient faults are worth retrying; a privacy refusal or a
     // malformed fragment will refuse identically every time.
     if (!result.status().IsUnavailable() || attempt >= options.max_retries) {
       metrics->AddCounter("engine.fragments_failed");
+      // A cooperative source that woke at the fan-out deadline lands here
+      // (instead of the waiter's abandonment path) — keep the deadline
+      // counter accurate either way.
+      if (result.status().IsDeadlineExceeded()) {
+        metrics->AddCounter("engine.fragments_deadline_exceeded");
+      }
       break;
     }
     const auto backoff =
@@ -485,7 +552,7 @@ void MediationEngine::RunFragmentWithRetry(
       break;  // the waiter is about to give up on us anyway
     }
     metrics->AddCounter("engine.fragment_retries");
-    std::this_thread::sleep_for(backoff);
+    if (!cancel.SleepFor(backoff)) continue;  // fired mid-backoff: classify at top
   }
   outcome->ReportToBreaker();
 }
@@ -496,6 +563,7 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
     return Status::Internal("GenerateMediatedSchema must run before Execute");
   }
   if (persist_failed_.load()) return FailClosedStatus();
+  PIYE_RETURN_NOT_OK(ValidateOptions(options));
   metrics_.AddCounter("engine.queries");
 
   // The transport-authenticated requester overrides the query's self-claim.
@@ -508,6 +576,14 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
   }
   const std::string fingerprint =
       xml::Serialize(*effective_query->ToXml(), /*indent=*/-1);
+
+  // Admission runs ahead of single-flight, the warehouse, history, budget,
+  // and the breakers: a shed or pre-expired query touches none of them. The
+  // permit is held for the whole call — a coalesced follower occupies a slot
+  // too (it is live work the caller is waiting on).
+  PIYE_ASSIGN_OR_RETURN(
+      AdmissionController::Permit permit,
+      admission_.Admit(effective_query->requester, options.cancel));
 
   if (!options_.enable_single_flight || !options.coalesce) {
     return ExecuteUncoalesced(*effective_query, options, fingerprint);
@@ -540,7 +616,25 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
     // history record already accounts the disclosure for this requester.
     metrics_.AddCounter("engine.singleflight_coalesced");
     std::unique_lock<std::mutex> lock(flight->mu);
-    flight->cv.wait(lock, [&flight] { return flight->done; });
+    if (!options.cancel.can_fire()) {
+      flight->cv.wait(lock, [&flight] { return flight->done; });
+    } else {
+      // The flight's cv is only notified by its leader, so a follower whose
+      // token fires polls its way out (the deadline itself is honoured
+      // exactly via wait_until). Leaving early is budget-neutral: this
+      // caller was never going to be charged.
+      while (!flight->done) {
+        auto wake = std::chrono::steady_clock::now() + kCancelPollInterval;
+        if (options.cancel.has_deadline()) {
+          wake = std::min(wake, options.cancel.deadline());
+        }
+        flight->cv.wait_until(lock, wake);
+        if (!flight->done && options.cancel.cancelled()) {
+          metrics_.AddCounter("engine.cancelled");
+          return options.cancel.status();
+        }
+      }
+    }
     return flight->result;
   }
   metrics_.AddCounter("engine.singleflight_leaders");
@@ -618,7 +712,16 @@ Result<MediationEngine::IntegratedResult> MediationEngine::ExecuteUncoalesced(
   {
     trace::ScopedSpan span("source-execution", &query_trace, &metrics_);
     const auto fanout_start = std::chrono::steady_clock::now();
-    const auto deadline = ComputeDeadline(fanout_start, options.deadline_ms);
+    // The effective per-fragment deadline is the tighter of the per-source
+    // deadline and the caller token's whole-query deadline.
+    auto deadline = ComputeDeadline(fanout_start, options.deadline_ms);
+    if (options.cancel.has_deadline()) {
+      deadline = std::min(deadline, options.cancel.deadline());
+    }
+    // What fragment tasks poll: the caller's token tightened with the
+    // fan-out deadline, so a hung source wakes at the deadline and frees its
+    // pool thread instead of sleeping out the hang.
+    const CancelToken frag_token = options.cancel.WithDeadline(deadline);
     for (const auto& frag : fragments.fragments) {
       const source::RemoteSource* src = nullptr;
       for (const auto* s : sources_) {
@@ -651,30 +754,40 @@ Result<MediationEngine::IntegratedResult> MediationEngine::ExecuteUncoalesced(
       d.outcome->breaker = breaker;
       if (executor_ != nullptr) {
         auto outcome = d.outcome;  // keep alive even if the waiter gives up
+        // The executor-level gate uses the *caller* token: a task dequeued
+        // after the caller gave up never starts (the whole query returns the
+        // cancellation status, so its empty outcome is never read). Deadline
+        // handling stays inside RunFragmentWithRetry, which can classify it.
         d.done = executor_->Submit(
-            [src, outcome, options, deadline, metrics = &metrics_] {
+            options.cancel,
+            [src, outcome, options, deadline, frag_token, metrics = &metrics_] {
               RunFragmentWithRetry(src, outcome->fragment, options, deadline,
-                                   metrics, outcome.get());
+                                   frag_token, metrics, outcome.get());
             });
       } else {
         RunFragmentWithRetry(src, d.outcome->fragment, options, deadline,
-                             &metrics_, d.outcome.get());
+                             frag_token, &metrics_, d.outcome.get());
       }
       dispatches.push_back(std::move(d));
     }
 
+    const bool bounded_wait =
+        options.deadline_ms != 0 || options.cancel.has_deadline();
     for (auto& d : dispatches) {
       if (!d.done.valid()) continue;  // serial mode: already ran in-line
-      if (options.deadline_ms == 0) {
+      if (!bounded_wait) {
         d.done.wait();
       } else if (d.done.wait_until(deadline) != std::future_status::ready) {
         // Abandon the fragment: the task still runs to completion on its
         // pool thread (it owns a shared_ptr to the outcome), but this query
         // proceeds without it. From the breaker's point of view the source
         // blew its deadline — unless the task finishes first and reports a
-        // different outcome (the exchange settles the race).
-        if (d.outcome->breaker != nullptr &&
-            !d.outcome->breaker_reported.exchange(true)) {
+        // different outcome (the exchange settles the race), or the caller
+        // itself gave up, in which case no one is blamed.
+        if (options.cancel.cancelled()) {
+          d.outcome->breaker_reported.store(true);  // suppress blame
+        } else if (d.outcome->breaker != nullptr &&
+                   !d.outcome->breaker_reported.exchange(true)) {
           d.outcome->breaker->OnFailure(std::chrono::steady_clock::now());
         }
         metrics_.AddCounter("engine.fragments_deadline_exceeded");
@@ -686,6 +799,13 @@ Result<MediationEngine::IntegratedResult> MediationEngine::ExecuteUncoalesced(
                 .ToString();
       }
     }
+  }
+
+  // Cooperative whole-query stop: nothing was released, so nothing is
+  // charged or recorded — the fired token simply unwinds the call.
+  if (options.cancel.cancelled()) {
+    metrics_.AddCounter("engine.cancelled");
+    return options.cancel.status();
   }
 
   struct Answer {

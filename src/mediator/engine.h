@@ -9,10 +9,12 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/executor.h"
 #include "common/result.h"
 #include "common/trace.h"
 #include "match/mediated_schema.h"
+#include "mediator/admission.h"
 #include "mediator/circuit_breaker.h"
 #include "mediator/fragmenter.h"
 #include "mediator/history.h"
@@ -47,6 +49,19 @@ namespace mediator {
 /// rest share its privacy-checked result — one source fan-out, one history
 /// entry, one budget charge for the burst (different requesters never
 /// coalesce, so per-requester accounting is untouched).
+///
+/// Overload model: every Execute passes through an admission pipeline
+/// *before* single-flight, the warehouse, history, budget, or any breaker —
+/// a pre-expired deadline is rejected with kDeadlineExceeded, a requester
+/// outrunning its token bucket or arriving at a saturated queue is shed
+/// with kResourceExhausted and a retry-after hint, and queries beyond
+/// `Options::admission.max_inflight` wait in a weighted fair-share,
+/// deadline-aware queue (see mediator/admission.h). Shed queries charge
+/// zero privacy budget and never count against a source's circuit breaker.
+/// `QueryOptions::cancel` threads a cooperative CancelToken through the
+/// executor, the retry/backoff loop, and `RemoteSource::ExecuteFragment`,
+/// so an expired whole-query deadline or a caller cancellation stops
+/// in-flight fragments instead of letting them run to completion.
 /// Execute itself is safe for concurrent callers: the shared stores
 /// (history, warehouse, privacy control, metrics) are internally locked,
 /// the mediated schema is immutable after initialization, and
@@ -99,6 +114,12 @@ class MediationEngine {
     /// a single query.
     bool enable_circuit_breakers = false;
     CircuitBreakerConfig circuit_breaker;
+    /// Overload resilience (see mediator/admission.h): max-inflight gating,
+    /// bounded fair-share queueing, and per-requester rate limiting, all
+    /// applied ahead of single-flight so shed queries never touch
+    /// history/budget. The default config is fully permissive (no gating,
+    /// no rate limit) — the pre-admission behaviour.
+    AdmissionConfig admission;
     /// Durable mode: history records appended between snapshot rotations
     /// (smaller ⇒ faster recovery, more snapshot I/O). 0 ⇒ snapshot only
     /// during Recover.
@@ -213,6 +234,14 @@ class MediationEngine {
     /// Sources whose breaker would admit a fragment right now.
     size_t sources_admitting = 0;
     std::vector<SourceHealth> sources;
+    /// Admission pipeline state (live gauges + lifetime counters): queries
+    /// executing now, queries waiting in the fair-share queue, and the
+    /// engine.admitted / engine.shed / engine.cancelled totals.
+    size_t admission_inflight = 0;
+    size_t admission_queue_depth = 0;
+    uint64_t admitted_total = 0;
+    uint64_t shed_total = 0;
+    uint64_t cancelled_total = 0;
   };
   HealthReport Health() const;
 
@@ -238,11 +267,22 @@ class MediationEngine {
                                               const QueryOptions& options,
                                               const std::string& fingerprint);
 
-  /// Runs one fragment against its source with bounded retry/backoff.
+  /// Cheap structural validation of the options, before the query is
+  /// admitted or charged: negative deadline, runaway retry counts, and a
+  /// quorum no source set can meet are caller bugs reported as
+  /// kInvalidArgument, not silently misinterpreted.
+  Status ValidateOptions(const QueryOptions& options) const;
+
+  /// Runs one fragment against its source with bounded retry/backoff. The
+  /// token (caller token tightened with the fan-out deadline) is polled
+  /// before each attempt and interrupts the backoff sleeps; a cancelled
+  /// attempt reports nothing to the breaker — the source is not to blame
+  /// for a caller that gave up.
   static void RunFragmentWithRetry(const source::RemoteSource* src,
                                    const source::PiqlQuery& fragment,
                                    const QueryOptions& options,
                                    std::chrono::steady_clock::time_point deadline,
+                                   const CancelToken& cancel,
                                    trace::MetricsRegistry* metrics,
                                    FragmentOutcome* outcome);
 
@@ -278,6 +318,8 @@ class MediationEngine {
   /// options_.enable_circuit_breakers (stable addresses: pool tasks report
   /// outcomes through these pointers after the waiter moved on).
   std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+  /// Admission pipeline (declared after metrics_, which it reports into).
+  AdmissionController admission_;
 
   /// Durability layer. persist_mu_ serializes WAL appends with their
   /// in-memory application, so recovery's replay order matches execution

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
+
 namespace piye {
 namespace mediator {
 
@@ -26,13 +28,26 @@ struct QueryOptions {
 
   /// Per-source deadline in milliseconds, measured from fan-out start. A
   /// source that has not answered in time lands in `sources_skipped` with a
-  /// DeadlineExceeded reason. 0 ⇒ no deadline.
-  uint64_t deadline_ms = 0;
+  /// DeadlineExceeded reason. 0 ⇒ no deadline; negative values are rejected
+  /// with kInvalidArgument at the top of Execute.
+  int64_t deadline_ms = 0;
 
   /// Bounded retry for *transient* (kUnavailable) source failures, with
   /// exponential backoff between attempts. Privacy refusals are never
-  /// retried — a policy decision is deterministic, not transient.
+  /// retried — a policy decision is deterministic, not transient. Values
+  /// above kMaxRetriesLimit are rejected with kInvalidArgument (a runaway
+  /// retry count is an overload amplifier, not a resilience knob).
   uint32_t max_retries = 0;
+  static constexpr uint32_t kMaxRetriesLimit = 64;
+
+  /// Cooperative cancellation and whole-query deadline. Obtain a token from
+  /// a `CancelSource` (and/or tighten it with `WithTimeout`); when it fires,
+  /// admission rejects the query before dispatch (kDeadlineExceeded /
+  /// kCancelled), a queued query leaves the admission queue, and an
+  /// executing query stops its in-flight fragments cooperatively instead of
+  /// letting them run to completion. A fired token never charges privacy
+  /// budget for an unreleased answer. Default: never fires.
+  CancelToken cancel;
 
   /// Quorum: fail the whole query (kUnavailable) unless at least this many
   /// sources contributed answers. 0 or 1 ⇒ any non-empty answer set is

@@ -73,19 +73,25 @@ Result<relational::Table> RemoteSource::EffectiveTable() const {
 }
 
 Result<RemoteSource::FragmentResult> RemoteSource::ExecuteFragment(
-    const PiqlQuery& fragment) const {
+    const PiqlQuery& fragment, const CancelToken& cancel) const {
+  PIYE_RETURN_NOT_OK(cancel.Check());
   // (F) Fault injection, when configured: the source misbehaves the way an
   // autonomous federated service does — slow, transiently failing, or hung.
+  // The sleeps are token-interruptible: a cancelled query does not hold a
+  // pool thread hostage for the remainder of a simulated hang.
   if (faults_.latency_micros > 0 || faults_.error_rate > 0.0 ||
       faults_.drop_rate > 0.0) {
-    if (faults_.latency_micros > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(faults_.latency_micros));
+    if (faults_.latency_micros > 0 &&
+        !cancel.SleepFor(std::chrono::microseconds(faults_.latency_micros))) {
+      return cancel.status();
     }
     const uint64_t call = fault_calls_.fetch_add(1, std::memory_order_relaxed);
     Rng fault_rng(faults_.seed ^ (call * 0x9E3779B97F4A7C15ULL) ^
                   0xD1B54A32D192ED03ULL);
     if (fault_rng.NextBernoulli(faults_.drop_rate)) {
-      std::this_thread::sleep_for(std::chrono::microseconds(faults_.hang_micros));
+      if (!cancel.SleepFor(std::chrono::microseconds(faults_.hang_micros))) {
+        return cancel.status();
+      }
       return Status::Unavailable("injected drop: source '" + owner_ +
                                  "' hung past its deadline");
     }
@@ -138,6 +144,9 @@ Result<RemoteSource::FragmentResult> RemoteSource::ExecuteFragment(
         std::to_string(out.losses.information_loss) + " > " +
         std::to_string(fragment.max_information_loss) + ")");
   }
+
+  // Cheap stages are done; poll before the expensive execution half.
+  PIYE_RETURN_NOT_OK(cancel.Check());
 
   // (5) Privacy-conscious optimization (the rewritten statement already has
   // the policy predicate pushed down; the plan records the reasoning).
@@ -206,6 +215,8 @@ Result<RemoteSource::FragmentResult> RemoteSource::ExecuteFragment(
     relational::Executor executor(&scratch);
     PIYE_ASSIGN_OR_RETURN(result, executor.Execute(rewritten.stmt));
   }
+
+  PIYE_RETURN_NOT_OK(cancel.Check());
 
   // (7) Privacy preservation on the results. The RNG stream is derived per
   // call from (source seed, serialized fragment): concurrent fragments never

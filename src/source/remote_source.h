@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "access/rbac.h"
+#include "common/cancel.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "match/schema_matcher.h"
@@ -111,7 +112,15 @@ class RemoteSource {
   /// derivation also means re-asking the *same* fragment reproduces the
   /// same perturbation — averaging repeated answers gains an attacker
   /// nothing (the same property Denning's random-sample queries rely on).
-  Result<FragmentResult> ExecuteFragment(const PiqlQuery& fragment) const;
+  ///
+  /// `cancel` makes the call cooperative: the pipeline polls the token at
+  /// its stage boundaries and the fault-injection sleeps are interruptible,
+  /// so an expired query deadline or a caller cancellation returns promptly
+  /// with the token's status (kDeadlineExceeded / kCancelled) instead of
+  /// running the remaining stages — or sleeping out a simulated hang — for
+  /// an answer nobody will read. The default token never fires.
+  Result<FragmentResult> ExecuteFragment(const PiqlQuery& fragment,
+                                         const CancelToken& cancel = {}) const;
 
   /// The table the pipeline actually sees: the raw table filtered through
   /// every privacy view registered for it (the Section 3 privacy-view

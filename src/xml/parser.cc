@@ -11,9 +11,15 @@ namespace {
 
 class ParserImpl {
  public:
-  explicit ParserImpl(std::string_view input) : in_(input) {}
+  ParserImpl(std::string_view input, const ParseLimits& limits)
+      : in_(input), limits_(limits) {}
 
   Result<XmlDocument> Run() {
+    if (limits_.max_input_bytes > 0 && in_.size() > limits_.max_input_bytes) {
+      return Status::InvalidArgument(strings::Format(
+          "XML input of %zu bytes exceeds the %zu-byte parse limit",
+          in_.size(), limits_.max_input_bytes));
+    }
     SkipProlog();
     PIYE_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> root, ParseElement());
     SkipMisc();
@@ -113,6 +119,18 @@ class ParserImpl {
   }
 
   Result<std::unique_ptr<XmlNode>> ParseElement() {
+    // ParseElement recurses once per nesting level, so the depth limit is
+    // also the stack-overflow guard against adversarial <a><a><a>… input.
+    if (limits_.max_depth > 0 && ++depth_ > limits_.max_depth) {
+      return Error(strings::Format("element nesting exceeds the depth limit of %zu",
+                                   limits_.max_depth));
+    }
+    auto parsed = ParseElementAtDepth();
+    --depth_;
+    return parsed;
+  }
+
+  Result<std::unique_ptr<XmlNode>> ParseElementAtDepth() {
     if (!Match("<")) return Error("expected '<'");
     PIYE_ASSIGN_OR_RETURN(std::string name, ParseName());
     std::unique_ptr<XmlNode> node = XmlNode::Element(name);
@@ -167,7 +185,9 @@ class ParserImpl {
   }
 
   std::string_view in_;
+  ParseLimits limits_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 void EscapeInto(std::string_view s, bool attr, std::string* out) {
@@ -245,7 +265,11 @@ void SerializeInto(const XmlNode& node, int indent, int depth, std::string* out)
 }  // namespace
 
 Result<XmlDocument> Parse(std::string_view input) {
-  return ParserImpl(input).Run();
+  return ParserImpl(input, ParseLimits()).Run();
+}
+
+Result<XmlDocument> Parse(std::string_view input, const ParseLimits& limits) {
+  return ParserImpl(input, limits).Run();
 }
 
 std::string Serialize(const XmlNode& node, int indent) {

@@ -9,6 +9,21 @@
 namespace piye {
 namespace xml {
 
+/// Resource limits applied while parsing. The parser sits on the engine's
+/// trust boundary — fragment results arrive from autonomous remote sources —
+/// so untrusted input must not be able to exhaust the stack (ParseElement
+/// recurses per nesting level) or memory. The defaults are far above
+/// anything the mediation pipeline produces; parsers of truly internal text
+/// keep them implicitly.
+struct ParseLimits {
+  /// Inputs longer than this are rejected up front with kInvalidArgument.
+  /// 0 ⇒ unlimited.
+  size_t max_input_bytes = 8ull << 20;
+  /// Maximum element nesting depth (root = depth 1); deeper documents are
+  /// rejected with kParseError before the recursion can overflow the stack.
+  size_t max_depth = 128;
+};
+
 /// Parses a well-formed XML fragment into an XmlDocument.
 ///
 /// Supported subset: one root element, nested elements, attributes with
@@ -17,6 +32,9 @@ namespace xml {
 /// predefined entities. CDATA, DTDs, and namespaces-as-semantics are out of
 /// scope — names containing ':' are treated as plain names.
 Result<XmlDocument> Parse(std::string_view input);
+
+/// Parse with explicit resource limits (see ParseLimits).
+Result<XmlDocument> Parse(std::string_view input, const ParseLimits& limits);
 
 /// Serializes a node subtree. `indent` < 0 produces compact single-line
 /// output; otherwise children are pretty-printed with `indent` spaces per

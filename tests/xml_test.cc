@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
 #include "xml/loose_path.h"
 #include "xml/node.h"
 #include "xml/parser.h"
@@ -252,6 +256,118 @@ TEST(LoosePathMatcherTest, ScoreIsMinOverSteps) {
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_LT(hits[0].score, 0.95);
   EXPECT_GE(hits[0].score, 0.5);
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace piye
+
+namespace piye {
+namespace xml {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parser resource limits: fragment results cross a trust boundary (they come
+// from autonomous remote sources), so the parser must reject oversized and
+// pathologically nested input instead of exhausting memory or the stack.
+// ---------------------------------------------------------------------------
+
+std::string DeeplyNested(size_t depth) {
+  std::string s;
+  for (size_t i = 0; i < depth; ++i) s += "<a>";
+  s += "x";
+  for (size_t i = 0; i < depth; ++i) s += "</a>";
+  return s;
+}
+
+TEST(ParserLimitsTest, DepthAtLimitParses) {
+  ParseLimits limits;
+  limits.max_depth = 16;
+  auto doc = Parse(DeeplyNested(16), limits);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+}
+
+TEST(ParserLimitsTest, DepthBeyondLimitRejected) {
+  ParseLimits limits;
+  limits.max_depth = 16;
+  auto doc = Parse(DeeplyNested(17), limits);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsParseError()) << doc.status().ToString();
+  EXPECT_NE(doc.status().message().find("depth limit"), std::string::npos);
+}
+
+TEST(ParserLimitsTest, DefaultDepthLimitStopsAdversarialNesting) {
+  // 100k levels would overflow the stack without the guard; the default
+  // limit turns it into a clean parse error.
+  auto doc = Parse(DeeplyNested(100'000));
+  ASSERT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsParseError());
+}
+
+TEST(ParserLimitsTest, OversizedInputRejectedUpFront) {
+  ParseLimits limits;
+  limits.max_input_bytes = 64;
+  const std::string big = "<a>" + std::string(128, 'x') + "</a>";
+  auto doc = Parse(big, limits);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsInvalidArgument()) << doc.status().ToString();
+}
+
+TEST(ParserLimitsTest, SizeLimitZeroMeansUnlimited) {
+  ParseLimits limits;
+  limits.max_input_bytes = 0;
+  const std::string big = "<a>" + std::string(1 << 20, 'x') + "</a>";
+  ASSERT_TRUE(Parse(big, limits).ok());
+}
+
+// Seeded malformed-input fuzz loop: mutate well-formed documents with random
+// byte edits and feed them to the parser. The parser may accept or reject
+// each mutant, but it must never crash, hang, or blow the limits — and it
+// must stay deterministic (same seed ⇒ same verdicts).
+TEST(ParserFuzzTest, SeededMutationsNeverCrashAndAreDeterministic) {
+  const std::string seeds[] = {
+      "<patients><patient id=\"7\"><dob>1970-01-02</dob>"
+      "<name>A &amp; B</name></patient></patients>",
+      "<r a='1' b=\"2\"><!-- c --><x/><y>t&lt;u</y></r>",
+      "<?xml version=\"1.0\"?><a><b><c><d>deep</d></c></b></a>",
+  };
+  ParseLimits limits;
+  limits.max_input_bytes = 4096;
+  limits.max_depth = 32;
+  constexpr uint64_t kFuzzSeed = 0xF00DFACE;
+  constexpr int kRounds = 2000;
+
+  auto run = [&](std::vector<bool>* verdicts) {
+    Rng rng(kFuzzSeed);
+    for (int round = 0; round < kRounds; ++round) {
+      std::string input = seeds[rng.NextBounded(3)];
+      const size_t edits = 1 + rng.NextBounded(8);
+      for (size_t e = 0; e < edits; ++e) {
+        const size_t at = rng.NextBounded(input.size());
+        switch (rng.NextBounded(3)) {
+          case 0:  // flip to a structural character
+            input[at] = "<>&\"'/="[rng.NextBounded(7)];
+            break;
+          case 1:  // random byte
+            input[at] = static_cast<char>(rng.NextBounded(256));
+            break;
+          default:  // truncate
+            input.resize(at + 1);
+            break;
+        }
+      }
+      auto doc = Parse(input, limits);
+      verdicts->push_back(doc.ok());
+      if (!doc.ok()) {
+        // Rejections must carry a positioned message, not an empty status.
+        EXPECT_FALSE(doc.status().message().empty());
+      }
+    }
+  };
+  std::vector<bool> first, second;
+  run(&first);
+  run(&second);
+  EXPECT_EQ(first, second);  // same seed, same verdicts
 }
 
 }  // namespace
