@@ -1,140 +1,295 @@
-// Experiment abl-cluster — Section 4's cluster-matching design choice:
-// decide preservation techniques by analyzing only *query features*
-// (option 2) instead of executing every query and analyzing its results
-// (option 1). Reports classification accuracy of the nearest-centroid
-// cluster store on a labeled pool of generated queries, plus the decision
-// latency of both options.
+// Experiment abl-net-federation — what process separation costs and what the
+// transport resilience buys back. Four configurations of the same federated
+// query over the clinical scenario:
+//
+//   1. in-process        — engine calls RemoteSource directly (the ceiling)
+//   2. wire/UDS          — engine -> NetSource -> Unix socket -> in-process
+//                          SourceServer (protocol + socket + thread handoff)
+//   3. multi-process     — engine -> 3 forked source_server processes
+//                          (the real deployment shape; skipped when the
+//                          server binary is not found)
+//   4. wire + fault storm — configuration 2 under a seeded transport fault
+//                          schedule with retries (the recovery price)
+//
+// The query-cluster accuracy experiment that previously lived here moved to
+// bench_query_cluster.cc.
 
 #include <benchmark/benchmark.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "common/rng.h"
-#include "relational/executor.h"
-#include "source/query_cluster.h"
+#include "core/scenario.h"
+#include "mediator/engine.h"
+#include "net/client.h"
+#include "net/net_source.h"
+#include "net/server.h"
+#include "source/remote_source.h"
+#include "xml/parser.h"
 
 using namespace piye;
-using source::BreachClass;
-using source::ClusterStore;
-using source::QueryFeatures;
 
 namespace {
 
-struct LabeledQuery {
-  relational::SelectStatement stmt;
-  BreachClass truth;
+constexpr const char* kOwners[] = {"hospital", "pharmacy", "lab"};
+
+std::vector<std::unique_ptr<source::RemoteSource>> MakeSources() {
+  std::vector<std::unique_ptr<source::RemoteSource>> sources;
+  for (size_t i = 0; i < 3; ++i) {
+    auto tables = core::ClinicalScenario::MakePatientTables(200, 0.3, 100 + i);
+    relational::Table table = i == 0   ? std::move(tables.hospital)
+                              : i == 1 ? std::move(tables.pharmacy)
+                                       : std::move(tables.lab);
+    auto src = std::make_unique<source::RemoteSource>(
+        kOwners[i], "patients", std::move(table), /*seed=*/i + 1);
+    core::ClinicalScenario::ApplyPatientPolicies(src.get());
+    (void)src->mutable_rbac()->AssignRole("alice", "analyst");
+    sources.push_back(std::move(src));
+  }
+  return sources;
+}
+
+source::PiqlQuery MakeQuery() {
+  return *source::PiqlQuery::Parse(
+      "<query requester=\"analyst\" purpose=\"research\" maxLoss=\"0.95\">"
+      "<select>patient_id</select><select>sex</select></query>");
+}
+
+mediator::MediationEngine::Options EngineOptions() {
+  mediator::MediationEngine::Options options;
+  options.max_combined_loss = 0.95;
+  options.max_cumulative_loss = 1e12;
+  options.enable_warehouse = false;
+  return options;
+}
+
+template <typename SourceVector>
+std::unique_ptr<mediator::MediationEngine> BuildEngine(
+    const SourceVector& sources) {
+  auto engine = std::make_unique<mediator::MediationEngine>(EngineOptions());
+  for (const auto& src : sources) (void)engine->RegisterSource(src.get());
+  Status status = Status::OK();
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    status = engine->GenerateMediatedSchema("shared-key");
+    if (status.ok()) break;  // sketch fetch may ride a faulty wire
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "schema generation failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+  return engine;
+}
+
+void RunLoop(benchmark::State& state, mediator::MediationEngine* engine,
+             uint32_t max_retries) {
+  const auto query = MakeQuery();
+  mediator::QueryOptions qopts;
+  qopts.requester = "alice";
+  qopts.max_retries = max_retries;
+  qopts.coalesce = false;
+  size_t failures = 0;
+  for (auto _ : state) {
+    auto result = engine->Execute(query, qopts);
+    if (!result.ok() || result->sources_answered.size() != 3) ++failures;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["degraded_rounds"] =
+      static_cast<double>(failures);
+}
+
+// 1. The ceiling: no wire at all.
+void BM_FederationInProcess(benchmark::State& state) {
+  auto sources = MakeSources();
+  auto engine = BuildEngine(sources);
+  RunLoop(state, engine.get(), /*max_retries=*/0);
+}
+BENCHMARK(BM_FederationInProcess)->Unit(benchmark::kMillisecond);
+
+/// In-process servers behind real Unix sockets, one per source.
+struct WireCluster {
+  std::vector<std::unique_ptr<source::RemoteSource>> sources;
+  std::vector<std::unique_ptr<net::SourceServer>> servers;
+  std::vector<std::shared_ptr<net::NetClient>> clients;
+  std::vector<std::unique_ptr<net::NetSource>> net_sources;
+
+  explicit WireCluster(net::FaultPlan client_fault = {}) {
+    sources = MakeSources();
+    for (size_t i = 0; i < sources.size(); ++i) {
+      net::ServerConfig server_config;
+      server_config.listen_address =
+          "unix:/tmp/piye_bench_" + std::to_string(::getpid()) + "_" +
+          std::to_string(i) + ".sock";
+      auto server = std::make_unique<net::SourceServer>(server_config);
+      server->AddSource(sources[i].get());
+      if (!server->Start().ok()) std::abort();
+
+      net::ClientConfig client_config;
+      client_config.address = server->bound_address();
+      client_config.fault = client_fault;
+      if (client_fault.enabled()) client_config.fault.seed += i;
+      auto client = std::make_shared<net::NetClient>(client_config);
+      net_sources.push_back(
+          std::make_unique<net::NetSource>(sources[i]->owner(), client));
+      clients.push_back(std::move(client));
+      servers.push_back(std::move(server));
+    }
+  }
+  ~WireCluster() {
+    for (auto& client : clients) client->Close();
+    for (auto& server : servers) server->Stop();
+  }
 };
 
-// Generates queries of the four canonical breach shapes with feature noise.
-std::vector<LabeledQuery> MakePool(size_t per_class, Rng* rng) {
-  std::vector<LabeledQuery> pool;
-  auto sql = [](const std::string& s) { return *relational::ParseSql(s); };
-  for (size_t i = 0; i < per_class; ++i) {
-    // Identity disclosure: row-level selects of a handful of columns with a
-    // couple of predicates.
-    {
-      std::string q = "SELECT c1, c2, c3";
-      if (rng->NextBernoulli(0.5)) q += ", c4";
-      q += " FROM t WHERE a = 1";
-      if (rng->NextBernoulli(0.7)) q += " AND b = 2";
-      pool.push_back({sql(q), BreachClass::kIdentityDisclosure});
-    }
-    // Attribute disclosure: narrow probes with many predicates + small LIMIT.
-    {
-      std::string q = "SELECT s FROM t WHERE a = 1 AND b = 2 AND c = 3";
-      if (rng->NextBernoulli(0.5)) q += " AND d = 4";
-      q += " LIMIT " + std::to_string(1 + rng->NextBounded(4));
-      pool.push_back({sql(q), BreachClass::kAttributeDisclosure});
-    }
-    // Aggregate inference: grouped statistics.
-    {
-      std::string q = "SELECT g, AVG(v)";
-      if (rng->NextBernoulli(0.5)) q += ", STDDEV(v)";
-      q += " FROM t";
-      if (rng->NextBernoulli(0.3)) q += " WHERE a = 1";
-      q += " GROUP BY g";
-      pool.push_back({sql(q), BreachClass::kAggregateInference});
-    }
-    // Linkage attack: wide unfiltered dumps.
-    {
-      std::string q = "SELECT c1, c2, c3, c4, c5, c6, c7";
-      if (rng->NextBernoulli(0.5)) q += ", c8, c9";
-      q += " FROM t";
-      pool.push_back({sql(q), BreachClass::kLinkageAttack});
-    }
-  }
-  return pool;
+// 2. Protocol + socket overhead, no process boundary.
+void BM_FederationWireUds(benchmark::State& state) {
+  WireCluster cluster;
+  auto engine = BuildEngine(cluster.net_sources);
+  RunLoop(state, engine.get(), /*max_retries=*/0);
+}
+BENCHMARK(BM_FederationWireUds)->Unit(benchmark::kMillisecond);
+
+// 4. The same wire under a seeded fault storm, with the retry budget that
+// rides it out. degraded_rounds counts iterations where a source was lost.
+void BM_FederationWireFaultStorm(benchmark::State& state) {
+  net::FaultPlan storm;
+  storm.seed = 0xBE7C;
+  storm.drop_write_rate = 0.05;
+  storm.tear_rate = 0.04;
+  storm.corrupt_rate = 0.04;
+  storm.drop_read_rate = 0.04;
+  WireCluster cluster(storm);
+  auto engine = BuildEngine(cluster.net_sources);
+  RunLoop(state, engine.get(), /*max_retries=*/6);
+}
+BENCHMARK(BM_FederationWireFaultStorm)->Unit(benchmark::kMillisecond);
+
+// --- True multi-process configuration ---------------------------------------
+
+std::string ServerBinary() {
+  if (const char* env = std::getenv("PIYE_SOURCE_SERVER_BIN")) return env;
+  char exe[4096];
+  const ssize_t n = readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n <= 0) return "";
+  exe[n] = '\0';
+  std::string path(exe);
+  const size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "";
+  path = path.substr(0, slash) + "/../tools/source_server";
+  return ::access(path.c_str(), X_OK) == 0 ? path : "";
 }
 
-void AccuracyReport() {
-  Rng rng(99);
-  const auto pool = MakePool(50, &rng);
-  const ClusterStore store = ClusterStore::Default();
-  size_t correct = 0;
-  std::map<BreachClass, std::pair<size_t, size_t>> per_class;  // correct/total
-  for (const auto& lq : pool) {
-    const auto* cluster = store.Map(QueryFeatures::Extract(lq.stmt));
-    const bool ok = cluster != nullptr && cluster->breach == lq.truth;
-    correct += ok ? 1 : 0;
-    auto& [c, t] = per_class[lq.truth];
-    c += ok ? 1 : 0;
-    ++t;
+std::string RecordsXml(const relational::Table& table) {
+  auto root = xml::XmlNode::Element("patients");
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    xml::XmlNode* record = root->AddElement("patient");
+    for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+      const relational::Value& v = table.row(r)[c];
+      if (v.is_null()) continue;
+      record->AddElementWithText(table.schema().column(c).name,
+                                 v.ToDisplayString());
+    }
   }
-  std::printf("--- Cluster matching accuracy on %zu labeled queries ---\n",
-              pool.size());
-  for (const auto& [breach, ct] : per_class) {
-    std::printf("%-24s %zu/%zu\n", source::BreachClassToString(breach), ct.first,
-                ct.second);
-  }
-  std::printf("overall: %.1f%%\n\n",
-              100.0 * static_cast<double>(correct) / static_cast<double>(pool.size()));
+  return xml::Serialize(*root, /*indent=*/-1);
 }
 
-// Option 2: decide by features alone.
-void BM_DecideByFeatures(benchmark::State& state) {
-  Rng rng(1);
-  const auto pool = MakePool(25, &rng);
-  const ClusterStore store = ClusterStore::Default();
-  size_t i = 0;
-  for (auto _ : state) {
-    const auto* c = store.Map(QueryFeatures::Extract(pool[i % pool.size()].stmt));
-    benchmark::DoNotOptimize(c);
-    ++i;
-  }
-}
-BENCHMARK(BM_DecideByFeatures)->Unit(benchmark::kNanosecond);
+struct ProcessCluster {
+  std::vector<pid_t> pids;
+  std::vector<std::shared_ptr<net::NetClient>> clients;
+  std::vector<std::unique_ptr<net::NetSource>> net_sources;
+  bool ok = false;
 
-// Option 1: execute the query first, then analyze its results.
-void BM_DecideByExecution(benchmark::State& state) {
-  Rng rng(1);
-  relational::Catalog catalog;
-  relational::Table t(relational::Schema{
-      relational::Column{"g", relational::ColumnType::kString},
-      relational::Column{"v", relational::ColumnType::kDouble},
-      relational::Column{"a", relational::ColumnType::kInt64}});
-  for (int i = 0; i < 20000; ++i) {
-    t.AppendRowUnchecked({relational::Value::Str("g" + std::to_string(i % 9)),
-                          relational::Value::Real(rng.NextUniform(0, 100)),
-                          relational::Value::Int(i % 5)});
+  explicit ProcessCluster(const std::string& binary) {
+    for (size_t i = 0; i < 3; ++i) {
+      auto tables =
+          core::ClinicalScenario::MakePatientTables(200, 0.3, 100 + i);
+      const relational::Table& table = i == 0   ? tables.hospital
+                                       : i == 1 ? tables.pharmacy
+                                                : tables.lab;
+      const std::string base = "/tmp/piye_bench_proc_" +
+                               std::to_string(::getpid()) + "_" +
+                               std::to_string(i);
+      {
+        std::ofstream out(base + ".xml", std::ios::binary);
+        out << RecordsXml(table);
+      }
+      int pipe_fds[2];
+      if (pipe(pipe_fds) != 0) return;
+      const pid_t pid = fork();
+      if (pid < 0) return;
+      if (pid == 0) {
+        dup2(pipe_fds[1], STDOUT_FILENO);
+        close(pipe_fds[0]);
+        close(pipe_fds[1]);
+        const std::string listen = "--listen=unix:" + base + ".sock";
+        const std::string source = "--source=owner=" + std::string(kOwners[i]) +
+                                   ",table=patients,file=" + base +
+                                   ".xml,seed=" + std::to_string(i + 1);
+        execl(binary.c_str(), binary.c_str(), listen.c_str(), source.c_str(),
+              "--clinical-policies", static_cast<char*>(nullptr));
+        _exit(127);
+      }
+      close(pipe_fds[1]);
+      pids.push_back(pid);
+      std::string line;
+      char ch;
+      while (line.find('\n') == std::string::npos &&
+             read(pipe_fds[0], &ch, 1) == 1) {
+        line.push_back(ch);
+      }
+      close(pipe_fds[0]);
+      if (line.rfind("LISTENING ", 0) != 0) return;
+
+      net::ClientConfig client_config;
+      client_config.address = "unix:" + base + ".sock";
+      auto client = std::make_shared<net::NetClient>(client_config);
+      net_sources.push_back(
+          std::make_unique<net::NetSource>(kOwners[i], client));
+      clients.push_back(std::move(client));
+    }
+    ok = true;
   }
-  catalog.PutTable("t", std::move(t));
-  relational::Executor ex(&catalog);
-  auto stmt = relational::ParseSql("SELECT g, AVG(v) FROM t WHERE a = 1 GROUP BY g");
-  for (auto _ : state) {
-    auto result = ex.Execute(*stmt);
-    // "Analyze the query results": class-size statistics over the output.
-    size_t rows = result.ok() ? result->num_rows() : 0;
-    benchmark::DoNotOptimize(rows);
+  ~ProcessCluster() {
+    for (auto& client : clients) client->Close();
+    for (pid_t pid : pids) {
+      kill(pid, SIGTERM);
+      int status = 0;
+      waitpid(pid, &status, 0);
+    }
   }
+};
+
+// 3. The real deployment shape: every source in its own process.
+void BM_FederationMultiProcess(benchmark::State& state) {
+  const std::string binary = ServerBinary();
+  if (binary.empty()) {
+    state.SkipWithError("source_server binary not found");
+    return;
+  }
+  ProcessCluster cluster(binary);
+  if (!cluster.ok) {
+    state.SkipWithError("failed to spawn source_server processes");
+    return;
+  }
+  auto engine = BuildEngine(cluster.net_sources);
+  RunLoop(state, engine.get(), /*max_retries=*/0);
 }
-BENCHMARK(BM_DecideByExecution)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FederationMultiProcess)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  AccuracyReport();
-  std::printf("Decision latency: features-only vs execute-and-analyze "
-              "(the paper's option 2 vs option 1):\n");
+  std::printf(
+      "Federation transport cost, 3 clinical sources x 200 patients\n"
+      "(in-process ceiling vs wire/UDS vs separate processes vs fault "
+      "storm):\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
 # The repo's CI entry point: a plain release-ish build with the full test
-# suite, then the same suite under AddressSanitizer (PIYE_SANITIZE=address),
-# then the concurrency suites under ThreadSanitizer (PIYE_SANITIZE=thread),
-# then the parser/overload suites under UBSan (PIYE_SANITIZE=undefined).
-# The ASan leg matters for the durability layer — the WAL/recovery code
-# paths shuffle raw buffers and file descriptors, exactly where ASan earns
-# its keep. The TSan leg guards the lock-based hot paths: the sharded
-# warehouse, the engine's single-flight coalescing and fragment fan-out, the
-# admission pipeline and chaos/soak harness, and the striped metrics
-# registry. The UBSan leg covers the arithmetic-heavy admission/backoff code
-# and the XML parser's malformed-input fuzz loop. Usage:
+# suite, then an explicit multi-process federation leg (real source_server
+# processes over Unix sockets), then the same suite under AddressSanitizer
+# (PIYE_SANITIZE=address), then the concurrency suites under ThreadSanitizer
+# (PIYE_SANITIZE=thread), then the parser/overload suites under UBSan
+# (PIYE_SANITIZE=undefined). The ASan leg matters for the durability layer —
+# the WAL/recovery code paths shuffle raw buffers and file descriptors,
+# exactly where ASan earns its keep. The TSan leg guards the lock-based hot
+# paths: the sharded warehouse, the engine's single-flight coalescing and
+# fragment fan-out, the admission pipeline and chaos/soak harness, the
+# striped metrics registry, and now the net client's reader/demux threads
+# against the server's accept/worker threads. The UBSan leg covers the
+# arithmetic-heavy admission/backoff code, the XML parser's malformed-input
+# fuzz loop, and the wire-frame decoder's bounds arithmetic driven by the
+# bit-flip fuzz suite. Usage:
 #
-#   scripts/ci.sh              # build + ctest + ASan leg + TSan leg + UBSan leg
+#   scripts/ci.sh              # everything
+#   PIYE_CI_SKIP_NET=1 scripts/ci.sh     # skip the multi-process leg (and
+#                                        # the spawning cluster test)
 #   PIYE_CI_SKIP_ASAN=1 scripts/ci.sh    # skip the ASan leg
 #   PIYE_CI_SKIP_TSAN=1 scripts/ci.sh    # skip the TSan leg
 #   PIYE_CI_SKIP_UBSAN=1 scripts/ci.sh   # skip the UBSan leg
@@ -22,15 +28,35 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc)"
 
-echo "=== [1/4] build + test ==="
+# With the net leg opted out, the cluster test (which fork/execs server
+# processes) is excluded everywhere; the pure in-process net_test still runs.
+CTEST_EXCLUDE=()
+if [[ "${PIYE_CI_SKIP_NET:-0}" == "1" ]]; then
+  CTEST_EXCLUDE=(-E '^net_cluster_test$')
+fi
+
+echo "=== [1/5] build + test ==="
 cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
-ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
+  "${CTEST_EXCLUDE[@]}"
+
+if [[ "${PIYE_CI_SKIP_NET:-0}" == "1" ]]; then
+  echo "=== [2/5] multi-process federation leg skipped (PIYE_CI_SKIP_NET=1) ==="
+else
+  echo "=== [2/5] multi-process federation: source servers over UDS ==="
+  # Builds the server binary and drives a mediation engine against three
+  # real source_server processes: byte-identity with the in-process path,
+  # SIGKILL degradation to quorum, breaker reopen after restart, graceful
+  # drain. Run serially — the suite forks, kills, and reaps processes.
+  cmake --build "$ROOT/build" -j "$JOBS" --target source_server net_cluster_test
+  ctest --test-dir "$ROOT/build" --output-on-failure -R '^net_cluster_test$'
+fi
 
 if [[ "${PIYE_CI_SKIP_ASAN:-0}" == "1" ]]; then
-  echo "=== [2/4] ASan leg skipped (PIYE_CI_SKIP_ASAN=1) ==="
+  echo "=== [3/5] ASan leg skipped (PIYE_CI_SKIP_ASAN=1) ==="
 else
-  echo "=== [2/4] AddressSanitizer build + test ==="
+  echo "=== [3/5] AddressSanitizer build + test ==="
   # halt_on_error makes a sanitizer report fail the test that produced it;
   # leak detection stays off to match scripts/sanitize.sh (ptrace is often
   # unavailable in CI containers).
@@ -38,41 +64,45 @@ else
   cmake -B "$ROOT/build-addresssan" -S "$ROOT" -DPIYE_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ROOT/build-addresssan" -j "$JOBS"
-  ctest --test-dir "$ROOT/build-addresssan" --output-on-failure -j "$JOBS"
+  ctest --test-dir "$ROOT/build-addresssan" --output-on-failure -j "$JOBS" \
+    "${CTEST_EXCLUDE[@]}"
 fi
 
 if [[ "${PIYE_CI_SKIP_TSAN:-0}" == "1" ]]; then
-  echo "=== [3/4] TSan leg skipped (PIYE_CI_SKIP_TSAN=1) ==="
+  echo "=== [4/5] TSan leg skipped (PIYE_CI_SKIP_TSAN=1) ==="
 else
-  echo "=== [3/4] ThreadSanitizer build + concurrency suites ==="
+  echo "=== [4/5] ThreadSanitizer build + concurrency suites ==="
   # The TSan leg runs the suites that exercise real lock/atomic contention:
   # the sharded warehouse + single-flight scale suite, the engine fan-out
-  # suite, the admission/cancellation suite and chaos/soak harness, and the
-  # crash/recovery suite (durable journaling under Execute).
+  # suite, the admission/cancellation suite and chaos/soak harness, the
+  # crash/recovery suite (durable journaling under Execute), and the net
+  # suite (client reader/writer threads vs server accept/worker threads,
+  # reconnect teardown races, window backpressure).
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
   cmake -B "$ROOT/build-threadsan" -S "$ROOT" -DPIYE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ROOT/build-threadsan" -j "$JOBS" --target \
     warehouse_scale_test concurrency_test recovery_test admission_test \
-    chaos_soak_test
+    chaos_soak_test net_test
   ctest --test-dir "$ROOT/build-threadsan" --output-on-failure -j "$JOBS" \
-    -R '^(warehouse_scale_test|concurrency_test|recovery_test|admission_test|chaos_soak_test)$'
+    -R '^(warehouse_scale_test|concurrency_test|recovery_test|admission_test|chaos_soak_test|net_test)$'
 fi
 
 if [[ "${PIYE_CI_SKIP_UBSAN:-0}" == "1" ]]; then
-  echo "=== [4/4] UBSan leg skipped (PIYE_CI_SKIP_UBSAN=1) ==="
+  echo "=== [5/5] UBSan leg skipped (PIYE_CI_SKIP_UBSAN=1) ==="
 else
-  echo "=== [4/4] UndefinedBehaviorSanitizer build + parser/overload suites ==="
+  echo "=== [5/5] UndefinedBehaviorSanitizer build + parser/overload suites ==="
   # UBSan earns its keep where the arithmetic lives: token-bucket refill and
-  # retry-after math, backoff shifting, and the XML parser driven by the
-  # seeded malformed-input fuzz loop.
+  # retry-after math, backoff shifting, the XML parser driven by the seeded
+  # malformed-input fuzz loop, and the wire-frame decoder under the bit-flip
+  # and random-garbage fuzz tests.
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
   cmake -B "$ROOT/build-ubsan" -S "$ROOT" -DPIYE_SANITIZE=undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ROOT/build-ubsan" -j "$JOBS" --target \
-    xml_test admission_test chaos_soak_test common_test
+    xml_test admission_test chaos_soak_test common_test net_test
   ctest --test-dir "$ROOT/build-ubsan" --output-on-failure -j "$JOBS" \
-    -R '^(xml_test|admission_test|chaos_soak_test|common_test)$'
+    -R '^(xml_test|admission_test|chaos_soak_test|common_test|net_test)$'
 fi
 
 echo "=== CI green ==="

@@ -15,6 +15,16 @@ class BloomFilter {
  public:
   BloomFilter(size_t num_bits, size_t num_hashes);
 
+  /// Reconstructs a filter from its raw bit vector — how a sketch's value
+  /// filter is rebuilt after crossing the wire. The bits are adopted as-is;
+  /// `num_hashes` must match the encoding side for membership queries to
+  /// mean anything (Dice similarity only needs the bits).
+  static BloomFilter FromBits(std::vector<bool> bits, size_t num_hashes) {
+    BloomFilter f(1, num_hashes);
+    f.bits_ = std::move(bits);
+    return f;
+  }
+
   void Insert(std::string_view item);
   bool MaybeContains(std::string_view item) const;
 

@@ -11,6 +11,7 @@
 #include "common/macros.h"
 #include "mediator/persistence.h"
 #include "source/metadata_tagger.h"
+#include "source/remote_source.h"
 #include "xml/parser.h"
 
 namespace piye {
@@ -70,7 +71,7 @@ std::string OptionsCoalescingKey(const QueryOptions& options) {
 struct MediationEngine::FragmentOutcome {
   source::PiqlQuery fragment;
   Status status = Status::Internal("fragment never ran");
-  source::RemoteSource::FragmentResult result;
+  source::FederatedSource::FragmentResult result;
   CircuitBreaker* breaker = nullptr;  ///< null when breakers are off/bypassed
   std::atomic<bool> breaker_reported{false};
 
@@ -110,7 +111,7 @@ MediationEngine::MediationEngine(Options options)
   }
 }
 
-Status MediationEngine::RegisterSource(source::RemoteSource* src) {
+Status MediationEngine::RegisterSource(source::FederatedSource* src) {
   if (src == nullptr) {
     return Status::InvalidArgument("RegisterSource: source is null");
   }
@@ -444,6 +445,7 @@ MediationEngine::HealthReport MediationEngine::Health() const {
   for (const auto* src : sources_) {
     SourceHealth health;
     health.owner = src->owner();
+    health.transport = src->transport_stats();
     if (!options_.enable_circuit_breakers) {
       health.breaker_state = "disabled";
       ++report.sources_admitting;
@@ -492,7 +494,7 @@ Status MediationEngine::ValidateOptions(const QueryOptions& options) const {
 }
 
 void MediationEngine::RunFragmentWithRetry(
-    const source::RemoteSource* src, const source::PiqlQuery& fragment,
+    const source::FederatedSource* src, const source::PiqlQuery& fragment,
     const QueryOptions& options, std::chrono::steady_clock::time_point deadline,
     const CancelToken& cancel, trace::MetricsRegistry* metrics,
     FragmentOutcome* outcome) {
@@ -723,7 +725,7 @@ Result<MediationEngine::IntegratedResult> MediationEngine::ExecuteUncoalesced(
     // pool thread instead of sleeping out the hang.
     const CancelToken frag_token = options.cancel.WithDeadline(deadline);
     for (const auto& frag : fragments.fragments) {
-      const source::RemoteSource* src = nullptr;
+      const source::FederatedSource* src = nullptr;
       for (const auto* s : sources_) {
         if (s->owner() == frag.source) {
           src = s;
@@ -810,7 +812,7 @@ Result<MediationEngine::IntegratedResult> MediationEngine::ExecuteUncoalesced(
 
   struct Answer {
     std::string owner;
-    source::RemoteSource::FragmentResult fragment;
+    source::FederatedSource::FragmentResult fragment;
   };
   std::vector<Answer> answers;
   for (auto& d : dispatches) {

@@ -25,7 +25,7 @@
 #include "mediator/warehouse.h"
 #include "persist/state_log.h"
 #include "persist/wal.h"
-#include "source/remote_source.h"
+#include "source/federated_source.h"
 
 namespace piye {
 namespace mediator {
@@ -137,7 +137,7 @@ class MediationEngine {
   /// Fails with kAlreadyExists for a duplicate owner and with
   /// kInvalidArgument for registration after GenerateMediatedSchema — both
   /// used to be silently accepted and corrupted the mediated schema.
-  Status RegisterSource(source::RemoteSource* src);
+  Status RegisterSource(source::FederatedSource* src);
   std::vector<std::string> SourceOwners() const;
 
   /// Builds the mediated schema from the sources' privacy-respecting
@@ -221,6 +221,9 @@ class MediationEngine {
     uint32_t consecutive_failures = 0;
     uint64_t shed_total = 0;
     uint64_t opened_total = 0;
+    /// Wire-level counters of the source's transport (all zeros with
+    /// `over_network == false` for an in-process source).
+    source::TransportStats transport;
   };
   struct HealthReport {
     /// Serving-ready: schema built, durability (if attached) intact, and at
@@ -278,7 +281,7 @@ class MediationEngine {
   /// before each attempt and interrupts the backoff sleeps; a cancelled
   /// attempt reports nothing to the breaker — the source is not to blame
   /// for a caller that gave up.
-  static void RunFragmentWithRetry(const source::RemoteSource* src,
+  static void RunFragmentWithRetry(const source::FederatedSource* src,
                                    const source::PiqlQuery& fragment,
                                    const QueryOptions& options,
                                    std::chrono::steady_clock::time_point deadline,
@@ -306,7 +309,7 @@ class MediationEngine {
   Status FailClosedStatus() const;
 
   Options options_;
-  std::vector<source::RemoteSource*> sources_;
+  std::vector<source::FederatedSource*> sources_;
   match::MediatedSchema schema_;
   bool schema_ready_ = false;
   QueryHistory history_;

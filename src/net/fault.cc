@@ -1,0 +1,100 @@
+#include "net/fault.h"
+
+#include <string>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace piye {
+namespace net {
+
+namespace {
+constexpr uint64_t kStreamSalt = 0x9E3779B97F4A7C15ULL;
+}  // namespace
+
+FaultInjectingTransport::Decision FaultInjectingTransport::Decide(bool is_write,
+                                                                  size_t len,
+                                                                  uint64_t op) {
+  Decision d;
+  if (!plan_.enabled()) return d;
+  Rng rng(plan_.seed ^ ((op + 1) * kStreamSalt));
+  d.delay = plan_.delay_rate > 0 && rng.NextBernoulli(plan_.delay_rate);
+  if (is_write) {
+    if (plan_.drop_write_rate > 0 && rng.NextBernoulli(plan_.drop_write_rate)) {
+      d.drop = true;
+      return d;
+    }
+    if (plan_.tear_rate > 0 && rng.NextBernoulli(plan_.tear_rate) && len > 1) {
+      d.tear = true;
+      d.tear_prefix = 1 + static_cast<size_t>(rng.NextBounded(len - 1));
+      return d;
+    }
+    if (plan_.corrupt_rate > 0 && rng.NextBernoulli(plan_.corrupt_rate) &&
+        len > 0) {
+      d.corrupt = true;
+      d.corrupt_offset = static_cast<size_t>(rng.NextBounded(len));
+      d.corrupt_mask = static_cast<uint8_t>(1u << rng.NextBounded(8));
+    }
+  } else {
+    if (plan_.drop_read_rate > 0 && rng.NextBernoulli(plan_.drop_read_rate)) {
+      d.drop = true;
+    }
+  }
+  return d;
+}
+
+Result<size_t> FaultInjectingTransport::Read(char* buf, size_t len,
+                                             TimePoint deadline) {
+  if (killed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("fault injection: connection is dead");
+  }
+  const Decision d =
+      Decide(/*is_write=*/false, len, ops_.fetch_add(1, std::memory_order_relaxed));
+  if (d.delay) {
+    std::this_thread::sleep_for(std::chrono::microseconds(plan_.delay_micros));
+  }
+  if (d.drop) {
+    killed_.store(true, std::memory_order_release);
+    inner_->Shutdown();
+    return Status::Unavailable("fault injection: connection dropped mid-read");
+  }
+  return inner_->Read(buf, len, deadline);
+}
+
+Status FaultInjectingTransport::WriteAll(std::string_view data,
+                                         TimePoint deadline) {
+  if (killed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("fault injection: connection is dead");
+  }
+  const Decision d =
+      Decide(/*is_write=*/true, data.size(),
+             ops_.fetch_add(1, std::memory_order_relaxed));
+  if (d.delay) {
+    std::this_thread::sleep_for(std::chrono::microseconds(plan_.delay_micros));
+  }
+  if (d.drop) {
+    killed_.store(true, std::memory_order_release);
+    inner_->Shutdown();
+    return Status::Unavailable("fault injection: write swallowed, connection dropped");
+  }
+  if (d.tear) {
+    // Deliver a strict prefix, then die: the receiver sees a torn frame.
+    (void)inner_->WriteAll(data.substr(0, d.tear_prefix), deadline);
+    killed_.store(true, std::memory_order_release);
+    inner_->Shutdown();
+    return Status::Unavailable("fault injection: frame torn after " +
+                               std::to_string(d.tear_prefix) + " bytes");
+  }
+  if (d.corrupt) {
+    std::string mangled(data);
+    mangled[d.corrupt_offset] =
+        static_cast<char>(static_cast<uint8_t>(mangled[d.corrupt_offset]) ^
+                          d.corrupt_mask);
+    // The write itself succeeds — the damage surfaces at the receiver's CRC.
+    return inner_->WriteAll(mangled, deadline);
+  }
+  return inner_->WriteAll(data, deadline);
+}
+
+}  // namespace net
+}  // namespace piye

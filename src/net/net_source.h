@@ -1,0 +1,53 @@
+#ifndef PIYE_NET_NET_SOURCE_H_
+#define PIYE_NET_NET_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/client.h"
+#include "source/federated_source.h"
+
+namespace piye {
+namespace net {
+
+/// `FederatedSource` backed by a source-server process over the wire
+/// protocol — the drop-in that turns the mediation engine's federation into
+/// a multi-process one. Registering a NetSource instead of a RemoteSource
+/// changes nothing above this seam: fan-out, retries, deadlines, breakers,
+/// quorum, and budget accounting all operate on the same status vocabulary,
+/// which the wire carries verbatim (a privacy refusal arrives as
+/// `kPrivacyViolation`, an unreachable server as `kUnavailable` with connect
+/// detail, an expired budget as `kDeadlineExceeded`).
+///
+/// Several NetSources share one NetClient when their sources live in the
+/// same server process (one connection pool per process, not per source).
+class NetSource : public source::FederatedSource {
+ public:
+  NetSource(std::string owner, std::shared_ptr<NetClient> client)
+      : owner_(std::move(owner)), client_(std::move(client)) {}
+
+  const std::string& owner() const override { return owner_; }
+
+  Result<FragmentResult> ExecuteFragment(
+      const source::PiqlQuery& fragment,
+      const CancelToken& cancel = {}) const override;
+
+  Result<std::vector<match::ColumnSketch>> ExportSketches(
+      const std::string& shared_key) const override;
+
+  source::TransportStats transport_stats() const override {
+    return client_->stats();
+  }
+
+  const std::shared_ptr<NetClient>& client() const { return client_; }
+
+ private:
+  std::string owner_;
+  std::shared_ptr<NetClient> client_;
+};
+
+}  // namespace net
+}  // namespace piye
+
+#endif  // PIYE_NET_NET_SOURCE_H_

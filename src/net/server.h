@@ -1,0 +1,115 @@
+#ifndef PIYE_NET_SERVER_H_
+#define PIYE_NET_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/executor.h"
+#include "common/result.h"
+#include "net/fault.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "source/federated_source.h"
+
+namespace piye {
+namespace net {
+
+struct ServerConfig {
+  /// "unix:<path>" or "tcp:<host>:<port>" (port 0 = kernel-assigned; the
+  /// bound address is reported by `bound_address()` after Start).
+  std::string listen_address = "tcp:127.0.0.1:0";
+  /// Workers executing query fragments (requests multiplex onto this pool,
+  /// so one slow fragment never blocks the connection's other requests).
+  size_t worker_threads = 4;
+  /// A connected client must complete the Hello exchange within this bound
+  /// or the connection is dropped (protects the accept loop from dead or
+  /// hostile peers).
+  uint64_t handshake_timeout_ms = 5000;
+  /// How long a quiet connection may sit between frames before the server
+  /// checks for shutdown. Idle ticks are cheap; this is a poll cadence, not
+  /// a client obligation.
+  uint64_t idle_timeout_ms = 250;
+  /// Once a frame's first byte arrives the rest must land within this bound
+  /// (a stalled sender cannot wedge a connection handler).
+  uint64_t frame_timeout_ms = 5000;
+  /// Stop(): how long to wait for in-flight requests to finish after the
+  /// listener closes before giving up on the drain.
+  uint64_t drain_timeout_ms = 2000;
+  size_t max_frame_payload = kDefaultMaxPayload;
+  /// Wire-level fault injection applied to every accepted connection (tests
+  /// and chaos benchmarks; leave zeroed in production paths).
+  FaultPlan fault;
+};
+
+/// Hosts `FederatedSource` instances behind the PIYE wire protocol — one of
+/// these per source process turns the in-process federation into a true
+/// multi-process one. Per connection: a handler thread reads frames, Execute
+/// and Sketch requests are dispatched to the worker pool tagged with their
+/// request id, and responses are written back under a per-connection write
+/// lock (so concurrent completions interleave at frame granularity, never
+/// mid-frame). A CancelRequest fires the corresponding in-flight request's
+/// CancelSource.
+///
+/// Stop() drains gracefully: the listener closes first (no new
+/// connections), in-flight requests get `drain_timeout_ms` to finish, then
+/// connections are shut down and every thread joined.
+class SourceServer {
+ public:
+  explicit SourceServer(ServerConfig config);
+  ~SourceServer();
+
+  SourceServer(const SourceServer&) = delete;
+  SourceServer& operator=(const SourceServer&) = delete;
+
+  /// Registers a source (not owned; must outlive the server). All sources
+  /// must be added before Start.
+  void AddSource(const source::FederatedSource* source);
+
+  Status Start();
+  void Stop();
+
+  /// The resolved listen address ("tcp:127.0.0.1:<port>" with the real
+  /// port). Valid after Start.
+  const std::string& bound_address() const { return bound_address_; }
+
+  /// Total connections accepted (diagnostics).
+  uint64_t connections_accepted() const;
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void HandleConnection(std::shared_ptr<Connection> conn);
+  void DispatchExecute(std::shared_ptr<Connection> conn, Frame frame);
+  void DispatchSketch(std::shared_ptr<Connection> conn, Frame frame);
+  Status WriteResponse(Connection& conn, const Frame& frame);
+  const source::FederatedSource* FindSource(const std::string& owner) const;
+
+  ServerConfig config_;
+  std::map<std::string, const source::FederatedSource*> sources_;
+  std::string bound_address_;
+
+  std::unique_ptr<Listener> listener_;
+  std::unique_ptr<Executor> workers_;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drain_cv_;
+  bool started_ = false;
+  bool stopping_ = false;
+  size_t outstanding_ = 0;  ///< requests dispatched but not yet responded
+  uint64_t connections_accepted_ = 0;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace net
+}  // namespace piye
+
+#endif  // PIYE_NET_SERVER_H_

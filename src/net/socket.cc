@@ -1,0 +1,253 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace piye {
+namespace net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::string(strerror(errno));
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::Internal(Errno("fcntl(F_GETFL)"));
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (fcntl(fd, F_SETFL, next) < 0) {
+    return Status::Internal(Errno("fcntl(F_SETFL)"));
+  }
+  return Status::OK();
+}
+
+/// Parsed form of "unix:<path>" / "tcp:<host>:<port>".
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string path;  // unix
+  std::string host;  // tcp
+  uint16_t port = 0;
+};
+
+Result<ParsedAddress> ParseAddress(const std::string& address) {
+  ParsedAddress out;
+  if (address.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.path = address.substr(5);
+    if (out.path.empty()) {
+      return Status::InvalidArgument("address '" + address + "': empty path");
+    }
+    if (out.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return Status::InvalidArgument("address '" + address +
+                                     "': unix socket path too long");
+    }
+    return out;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("address '" + address +
+                                     "': expected tcp:<host>:<port>");
+    }
+    out.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    unsigned long port = 0;
+    for (char c : port_text) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("address '" + address +
+                                       "': non-numeric port");
+      }
+      port = port * 10 + static_cast<unsigned long>(c - '0');
+      if (port > 65535) {
+        return Status::InvalidArgument("address '" + address +
+                                       "': port out of range");
+      }
+    }
+    if (port_text.empty()) {
+      return Status::InvalidArgument("address '" + address + "': empty port");
+    }
+    out.port = static_cast<uint16_t>(port);
+    return out;
+  }
+  return Status::InvalidArgument(
+      "address '" + address + "': expected unix:<path> or tcp:<host>:<port>");
+}
+
+/// Fills a sockaddr for the parsed address. `storage` must outlive use.
+Result<std::pair<const sockaddr*, socklen_t>> ToSockaddr(
+    const ParsedAddress& addr, sockaddr_storage* storage) {
+  memset(storage, 0, sizeof(*storage));
+  if (addr.is_unix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(storage);
+    sun->sun_family = AF_UNIX;
+    strncpy(sun->sun_path, addr.path.c_str(), sizeof(sun->sun_path) - 1);
+    return std::make_pair(reinterpret_cast<const sockaddr*>(sun),
+                          static_cast<socklen_t>(sizeof(sockaddr_un)));
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(storage);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(addr.port);
+  // Numeric IPv4 only (plus the loopback name): the test/bench topology is
+  // same-host; a resolver dependency buys nothing here.
+  const std::string host = addr.host == "localhost" ? "127.0.0.1" : addr.host;
+  if (inet_pton(AF_INET, host.c_str(), &sin->sin_addr) != 1) {
+    return Status::InvalidArgument("tcp host '" + addr.host +
+                                   "' is not a numeric IPv4 address");
+  }
+  return std::make_pair(reinterpret_cast<const sockaddr*>(sin),
+                        static_cast<socklen_t>(sizeof(sockaddr_in)));
+}
+
+}  // namespace
+
+int PollTimeoutMs(TimePoint deadline) {
+  if (deadline == NoDeadline()) return -1;
+  const auto remaining = deadline - std::chrono::steady_clock::now();
+  if (remaining <= std::chrono::milliseconds(0)) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(remaining).count() + 1;
+  return static_cast<int>(std::min<int64_t>(ms, 1'000'000));
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Dial(const std::string& address, TimePoint deadline) {
+  PIYE_ASSIGN_OR_RETURN(ParsedAddress parsed, ParseAddress(address));
+  const int family = parsed.is_unix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Unavailable(Errno("socket()"));
+  Socket sock(fd);
+  PIYE_RETURN_NOT_OK(SetNonBlocking(fd, true));
+
+  sockaddr_storage storage;
+  PIYE_ASSIGN_OR_RETURN(auto sa, ToSockaddr(parsed, &storage));
+  int rc = ::connect(fd, sa.first, sa.second);
+  if (rc != 0 && errno != EINPROGRESS && errno != EAGAIN) {
+    return Status::Unavailable("connect to '" + address +
+                               "' failed: " + strerror(errno));
+  }
+  if (rc != 0) {
+    // Connection in progress: wait for writability up to the deadline.
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout = PollTimeoutMs(deadline);
+    const int nready = ::poll(&pfd, 1, timeout);
+    if (nready == 0) {
+      return Status::DeadlineExceeded("connect to '" + address +
+                                      "' timed out");
+    }
+    if (nready < 0) return Status::Unavailable(Errno("poll(connect)"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      return Status::Unavailable("connect to '" + address +
+                                 "' failed: " + strerror(err != 0 ? err : errno));
+    }
+  }
+  PIYE_RETURN_NOT_OK(SetNonBlocking(fd, false));
+  if (!parsed.is_unix) {
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return sock;
+}
+
+Result<Listener> Listener::Listen(const std::string& address, int backlog) {
+  PIYE_ASSIGN_OR_RETURN(ParsedAddress parsed, ParseAddress(address));
+  const int family = parsed.is_unix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Unavailable(Errno("socket()"));
+  Listener out;
+  out.sock_ = Socket(fd);
+  if (parsed.is_unix) {
+    // A stale socket file from a crashed previous server would make bind
+    // fail with EADDRINUSE even though nobody is listening.
+    ::unlink(parsed.path.c_str());
+    out.unlink_path_ = parsed.path;
+  } else {
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  sockaddr_storage storage;
+  PIYE_ASSIGN_OR_RETURN(auto sa, ToSockaddr(parsed, &storage));
+  if (::bind(fd, sa.first, sa.second) != 0) {
+    return Status::Unavailable("bind '" + address +
+                               "' failed: " + strerror(errno));
+  }
+  if (::listen(fd, backlog) != 0) {
+    return Status::Unavailable(Errno("listen()"));
+  }
+  if (parsed.is_unix) {
+    out.bound_ = address;
+  } else {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      return Status::Internal(Errno("getsockname()"));
+    }
+    char host[INET_ADDRSTRLEN] = {0};
+    inet_ntop(AF_INET, &bound.sin_addr, host, sizeof(host));
+    out.bound_ = "tcp:" + std::string(host) + ":" +
+                 std::to_string(ntohs(bound.sin_port));
+  }
+  return out;
+}
+
+Result<Socket> Listener::Accept(TimePoint deadline) {
+  if (!sock_.valid()) return Status::Unavailable("listener is closed");
+  pollfd pfd{sock_.fd(), POLLIN, 0};
+  const int nready = ::poll(&pfd, 1, PollTimeoutMs(deadline));
+  if (nready == 0) return Status::DeadlineExceeded("accept timed out");
+  if (nready < 0) return Status::Unavailable(Errno("poll(accept)"));
+  const int fd = ::accept4(sock_.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) {
+    return Status::Unavailable(Errno("accept()"));
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+void Listener::Close() {
+  sock_.Close();
+  if (!unlink_path_.empty()) {
+    ::unlink(unlink_path_.c_str());
+    unlink_path_.clear();
+  }
+}
+
+}  // namespace net
+}  // namespace piye

@@ -1,0 +1,86 @@
+#ifndef PIYE_NET_SOCKET_H_
+#define PIYE_NET_SOCKET_H_
+
+#include <chrono>
+#include <string>
+
+#include "common/result.h"
+
+namespace piye {
+namespace net {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+/// "No deadline": the steady clock's far future, matching the convention of
+/// `CancelToken::deadline()`.
+inline TimePoint NoDeadline() { return TimePoint::max(); }
+
+/// RAII wrapper around a connected (or listening) socket file descriptor.
+/// Move-only; the destructor closes. `Shutdown` is the cross-thread wakeup:
+/// it makes any blocked read/poll on the fd return immediately (EOF/error)
+/// without racing `close` against a concurrent reader.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// shutdown(SHUT_RDWR): wakes every thread blocked on this fd. Safe to
+  /// call from any thread, repeatedly.
+  void Shutdown();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Dials `address` — "unix:<path>" or "tcp:<host>:<port>" — with a connect
+/// deadline. Failures (refused, unreachable, no such path) are
+/// `kUnavailable` with the address and errno detail; an expired deadline is
+/// `kDeadlineExceeded`. A malformed address is `kInvalidArgument`.
+Result<Socket> Dial(const std::string& address, TimePoint deadline);
+
+/// A listening socket. For "tcp:host:0" the kernel picks the port;
+/// `bound_address()` reports the resolved one. Unix-socket paths are
+/// unlinked on Close (and any stale file is unlinked before binding).
+class Listener {
+ public:
+  static Result<Listener> Listen(const std::string& address, int backlog = 64);
+
+  Listener() = default;
+  Listener(Listener&&) = default;
+  Listener& operator=(Listener&&) = default;
+
+  /// Blocks for one connection up to `deadline`. `kDeadlineExceeded` on
+  /// timeout; `kUnavailable` once the listener was shut down or closed.
+  Result<Socket> Accept(TimePoint deadline);
+
+  const std::string& bound_address() const { return bound_; }
+  bool valid() const { return sock_.valid(); }
+
+  /// Wakes a blocked Accept (which then fails kUnavailable).
+  void Shutdown() { sock_.Shutdown(); }
+  void Close();
+
+ private:
+  Socket sock_;
+  std::string bound_;
+  std::string unlink_path_;  ///< unix-socket file to remove on Close
+};
+
+/// Millisecond poll timeout for `deadline`: -1 for NoDeadline, else the
+/// remaining time clamped to >= 0.
+int PollTimeoutMs(TimePoint deadline);
+
+}  // namespace net
+}  // namespace piye
+
+#endif  // PIYE_NET_SOCKET_H_

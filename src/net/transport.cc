@@ -1,0 +1,57 @@
+#include "net/transport.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+
+namespace piye {
+namespace net {
+
+Result<size_t> SocketTransport::Read(char* buf, size_t len, TimePoint deadline) {
+  for (;;) {
+    pollfd pfd{sock_.fd(), POLLIN, 0};
+    const int nready = ::poll(&pfd, 1, PollTimeoutMs(deadline));
+    if (nready == 0) return Status::DeadlineExceeded("read timed out");
+    if (nready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("poll(read) failed: " +
+                                 std::string(strerror(errno)));
+    }
+    const ssize_t n = ::recv(sock_.fd(), buf, len, 0);
+    if (n > 0) return static_cast<size_t>(n);
+    if (n == 0) return static_cast<size_t>(0);  // peer closed
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::Unavailable("recv failed: " + std::string(strerror(errno)));
+  }
+}
+
+Status SocketTransport::WriteAll(std::string_view data, TimePoint deadline) {
+  size_t off = 0;
+  while (off < data.size()) {
+    pollfd pfd{sock_.fd(), POLLOUT, 0};
+    const int nready = ::poll(&pfd, 1, PollTimeoutMs(deadline));
+    if (nready == 0) return Status::DeadlineExceeded("write timed out");
+    if (nready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("poll(write) failed: " +
+                                 std::string(strerror(errno)));
+    }
+    // MSG_NOSIGNAL: a peer that vanished mid-write yields EPIPE, not a
+    // process-killing SIGPIPE.
+    const ssize_t n = ::send(sock_.fd(), data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return Status::Unavailable("send failed: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace piye

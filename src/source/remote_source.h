@@ -14,6 +14,7 @@
 #include "match/schema_matcher.h"
 #include "policy/policy_store.h"
 #include "relational/executor.h"
+#include "source/federated_source.h"
 #include "source/loss_computation.h"
 #include "source/metadata_tagger.h"
 #include "source/optimizer.h"
@@ -28,11 +29,14 @@ namespace piye {
 namespace source {
 
 /// A remote source running the complete privacy-preserving query processing
-/// framework of Figure 2(a). The mediation engine talks to it exclusively
+/// framework of Figure 2(a), implementing the `FederatedSource` execution
+/// interface in-process. The mediation engine talks to it exclusively
 /// through `ExecuteFragment` (XML query in, tagged XML result out) and
 /// `ExportSketches` (privacy-respecting schema summaries for mediated-schema
-/// generation) — it never sees the raw tables.
-class RemoteSource {
+/// generation) — it never sees the raw tables. The same object can also be
+/// hosted out-of-process by a `net::SourceServer`, in which case the engine
+/// reaches it through a `net::NetSource` over the wire protocol instead.
+class RemoteSource : public FederatedSource {
  public:
   /// `owner` names the organization (policy key); `seed` drives the
   /// perturbation RNG deterministically.
@@ -46,7 +50,7 @@ class RemoteSource {
       const std::string& owner, const std::string& table_name,
       std::string_view xml_text, uint64_t seed = 0);
 
-  const std::string& owner() const { return owner_; }
+  const std::string& owner() const override { return owner_; }
   const std::string& table_name() const { return table_name_; }
   const relational::Schema& schema() const;
   size_t num_rows() const;
@@ -89,17 +93,10 @@ class RemoteSource {
   }
 
   /// Everything `ExecuteFragment` reports back besides the XML payload —
-  /// per-stage diagnostics used by the Fig. 2 pipeline benchmark.
-  struct FragmentResult {
-    std::unique_ptr<xml::XmlNode> xml;  ///< tagged <result> element
-    relational::Table table;            ///< the released rows, pre-serialization
-    PrivacyOptimizer::Plan plan;
-    BreachClass breach = BreachClass::kNone;
-    std::vector<Technique> techniques;
-    LossEstimate losses;
-    std::vector<std::string> denied_columns;
-    double loss_budget = 1.0;
-  };
+  /// per-stage diagnostics used by the Fig. 2 pipeline benchmark. The type
+  /// itself now lives on the `FederatedSource` interface; this alias keeps
+  /// the historical `RemoteSource::FragmentResult` spelling working.
+  using FragmentResult = FederatedSource::FragmentResult;
 
   /// Runs the full pipeline: privacy view → transform → rewrite →
   /// cluster-match → loss → optimize → (query-set restriction) → execute →
@@ -119,8 +116,8 @@ class RemoteSource {
   /// with the token's status (kDeadlineExceeded / kCancelled) instead of
   /// running the remaining stages — or sleeping out a simulated hang — for
   /// an answer nobody will read. The default token never fires.
-  Result<FragmentResult> ExecuteFragment(const PiqlQuery& fragment,
-                                         const CancelToken& cancel = {}) const;
+  Result<FragmentResult> ExecuteFragment(
+      const PiqlQuery& fragment, const CancelToken& cancel = {}) const override;
 
   /// The table the pipeline actually sees: the raw table filtered through
   /// every privacy view registered for it (the Section 3 privacy-view
@@ -132,7 +129,7 @@ class RemoteSource {
   /// denied column is not exported at all; a column disclosed only in
   /// coarsened form is exported with a hashed (non-public) name.
   Result<std::vector<match::ColumnSketch>> ExportSketches(
-      const std::string& shared_key) const;
+      const std::string& shared_key) const override;
 
   /// Direct (policy-bypassing) access for tests and for the no-privacy
   /// baseline integrator in the benchmarks.
