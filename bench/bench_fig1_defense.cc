@@ -83,12 +83,12 @@ void SweepAuditor() {
       (void)control.ApproveMeanDisclosure(party, 0.05);
     }
     double worst = 0.0;
-    if (auto losses = control.auditor().CurrentLosses(); losses.ok()) {
+    if (auto losses = control.CurrentLosses(); losses.ok()) {
       for (double l : *losses) worst = std::max(worst, l);
     }
     std::printf("%-12.2f %-10zu %-10zu %-22.3f\n", threshold,
-                control.auditor().disclosures_committed(),
-                control.auditor().disclosures_refused(), worst);
+                control.disclosures_committed(),
+                control.disclosures_refused(), worst);
   }
   std::printf("(threshold 1.0 = traditional integrator: everything released, "
               "attacker wins)\n\n");

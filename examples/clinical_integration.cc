@@ -131,7 +131,7 @@ int main() {
     report((published.parties[p] + " mean").c_str(),
            control.ApproveMeanDisclosure(party_cells, 0.05));
   }
-  auto losses = control.auditor().CurrentLosses();
+  auto losses = control.CurrentLosses();
   if (losses.ok()) {
     double worst = 0.0;
     for (double l : *losses) worst = std::max(worst, l);
@@ -140,7 +140,7 @@ int main() {
                 worst);
   }
   std::printf("%zu releases approved, %zu refused.\n",
-              control.auditor().disclosures_committed(),
-              control.auditor().disclosures_refused());
+              control.disclosures_committed(),
+              control.disclosures_refused());
   return 0;
 }

@@ -1,28 +1,35 @@
 #!/usr/bin/env bash
-# The repo's CI entry point: a plain release-ish build with the full test
-# suite, then an explicit multi-process federation leg (real source_server
-# processes over Unix sockets), then the same suite under AddressSanitizer
+# The repo's CI entry point: a warning-free (-Werror) release-ish build with
+# the full test suite, then an explicit multi-process federation leg (real
+# source_server processes over Unix sockets), then a no-execution static
+# analysis leg (piye_lint + clang thread-safety analysis when a clang
+# toolchain is present), then the same suite under AddressSanitizer
 # (PIYE_SANITIZE=address), then the concurrency suites under ThreadSanitizer
 # (PIYE_SANITIZE=thread), then the parser/overload suites under UBSan
-# (PIYE_SANITIZE=undefined). The ASan leg matters for the durability layer —
-# the WAL/recovery code paths shuffle raw buffers and file descriptors,
-# exactly where ASan earns its keep. The TSan leg guards the lock-based hot
-# paths: the sharded warehouse, the engine's single-flight coalescing and
-# fragment fan-out, the admission pipeline and chaos/soak harness, the
-# striped metrics registry, and now the net client's reader/demux threads
-# against the server's accept/worker threads. The UBSan leg covers the
-# arithmetic-heavy admission/backoff code, the XML parser's malformed-input
-# fuzz loop, and the wire-frame decoder's bounds arithmetic driven by the
-# bit-flip fuzz suite. Usage:
+# (PIYE_SANITIZE=undefined). The analysis leg runs before the sanitizer legs
+# on purpose: it needs no test execution, so a lock-discipline or
+# invariant violation fails CI in seconds instead of after three sanitizer
+# builds. The ASan leg matters for the durability layer — the WAL/recovery
+# code paths shuffle raw buffers and file descriptors, exactly where ASan
+# earns its keep. The TSan leg guards the lock-based hot paths: the sharded
+# warehouse, the engine's single-flight coalescing and fragment fan-out, the
+# admission pipeline and chaos/soak harness, the striped metrics registry,
+# and the net client's reader/demux threads against the server's
+# accept/worker threads. The UBSan leg covers the arithmetic-heavy
+# admission/backoff code, the XML parser's malformed-input fuzz loop, and
+# the wire-frame decoder's bounds arithmetic driven by the bit-flip fuzz
+# suite. Usage:
 #
 #   scripts/ci.sh              # everything
-#   PIYE_CI_SKIP_NET=1 scripts/ci.sh     # skip the multi-process leg (and
-#                                        # the spawning cluster test)
-#   PIYE_CI_SKIP_ASAN=1 scripts/ci.sh    # skip the ASan leg
-#   PIYE_CI_SKIP_TSAN=1 scripts/ci.sh    # skip the TSan leg
-#   PIYE_CI_SKIP_UBSAN=1 scripts/ci.sh   # skip the UBSan leg
+#   PIYE_CI_SKIP_NET=1 scripts/ci.sh      # skip the multi-process leg (and
+#                                         # the spawning cluster test)
+#   PIYE_CI_SKIP_ANALYSIS=1 scripts/ci.sh # skip the static-analysis leg
+#   PIYE_CI_SKIP_ASAN=1 scripts/ci.sh     # skip the ASan leg
+#   PIYE_CI_SKIP_TSAN=1 scripts/ci.sh     # skip the TSan leg
+#   PIYE_CI_SKIP_UBSAN=1 scripts/ci.sh    # skip the UBSan leg
 #
-# Exits non-zero on any build failure, test failure, or sanitizer report.
+# Exits non-zero on any build failure, compiler warning, test failure,
+# lint finding, thread-safety violation, or sanitizer report.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -35,16 +42,16 @@ if [[ "${PIYE_CI_SKIP_NET:-0}" == "1" ]]; then
   CTEST_EXCLUDE=(-E '^net_cluster_test$')
 fi
 
-echo "=== [1/5] build + test ==="
-cmake -B "$ROOT/build" -S "$ROOT"
+echo "=== [1/6] build (warning-free: -Werror) + test ==="
+cmake -B "$ROOT/build" -S "$ROOT" -DPIYE_WERROR=ON
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
   "${CTEST_EXCLUDE[@]}"
 
 if [[ "${PIYE_CI_SKIP_NET:-0}" == "1" ]]; then
-  echo "=== [2/5] multi-process federation leg skipped (PIYE_CI_SKIP_NET=1) ==="
+  echo "=== [2/6] multi-process federation leg skipped (PIYE_CI_SKIP_NET=1) ==="
 else
-  echo "=== [2/5] multi-process federation: source servers over UDS ==="
+  echo "=== [2/6] multi-process federation: source servers over UDS ==="
   # Builds the server binary and drives a mediation engine against three
   # real source_server processes: byte-identity with the in-process path,
   # SIGKILL degradation to quorum, breaker reopen after restart, graceful
@@ -53,10 +60,38 @@ else
   ctest --test-dir "$ROOT/build" --output-on-failure -R '^net_cluster_test$'
 fi
 
-if [[ "${PIYE_CI_SKIP_ASAN:-0}" == "1" ]]; then
-  echo "=== [3/5] ASan leg skipped (PIYE_CI_SKIP_ASAN=1) ==="
+if [[ "${PIYE_CI_SKIP_ANALYSIS:-0}" == "1" ]]; then
+  echo "=== [3/6] static analysis leg skipped (PIYE_CI_SKIP_ANALYSIS=1) ==="
 else
-  echo "=== [3/5] AddressSanitizer build + test ==="
+  echo "=== [3/6] static analysis: piye_lint + clang thread-safety ==="
+  # piye_lint: repo-specific structural rules (raw sync primitives, analysis
+  # escape hatches, privacy-retry, serialization boundaries, status
+  # discards, header hygiene — see tools/lint/lint.h). Any finding fails CI;
+  # the JSON report is archived next to the build for tooling.
+  cmake --build "$ROOT/build" -j "$JOBS" --target piye_lint
+  "$ROOT/build/tools/piye_lint" "$ROOT/src"
+  "$ROOT/build/tools/piye_lint" --json "$ROOT/src" \
+    > "$ROOT/build/piye_lint_report.json"
+
+  # Clang thread-safety analysis: a compile-only pass with the capability
+  # annotations from common/sync.h enforced as errors, proving every
+  # GUARDED_BY field is only touched with its lock held. Requires a clang
+  # frontend; on a gcc-only runner this half is skipped (the annotations
+  # compile away there) and piye_lint above still gates the leg.
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B "$ROOT/build-analysis" -S "$ROOT" \
+      -DCMAKE_CXX_COMPILER=clang++ -DPIYE_THREAD_SAFETY=ON
+    cmake --build "$ROOT/build-analysis" -j "$JOBS"
+  else
+    echo "clang++ not found: thread-safety analysis half skipped" \
+         "(piye_lint still enforced; annotations are no-ops on this toolchain)"
+  fi
+fi
+
+if [[ "${PIYE_CI_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "=== [4/6] ASan leg skipped (PIYE_CI_SKIP_ASAN=1) ==="
+else
+  echo "=== [4/6] AddressSanitizer build + test ==="
   # halt_on_error makes a sanitizer report fail the test that produced it;
   # leak detection stays off to match scripts/sanitize.sh (ptrace is often
   # unavailable in CI containers).
@@ -69,9 +104,9 @@ else
 fi
 
 if [[ "${PIYE_CI_SKIP_TSAN:-0}" == "1" ]]; then
-  echo "=== [4/5] TSan leg skipped (PIYE_CI_SKIP_TSAN=1) ==="
+  echo "=== [5/6] TSan leg skipped (PIYE_CI_SKIP_TSAN=1) ==="
 else
-  echo "=== [4/5] ThreadSanitizer build + concurrency suites ==="
+  echo "=== [5/6] ThreadSanitizer build + concurrency suites ==="
   # The TSan leg runs the suites that exercise real lock/atomic contention:
   # the sharded warehouse + single-flight scale suite, the engine fan-out
   # suite, the admission/cancellation suite and chaos/soak harness, the
@@ -89,9 +124,9 @@ else
 fi
 
 if [[ "${PIYE_CI_SKIP_UBSAN:-0}" == "1" ]]; then
-  echo "=== [5/5] UBSan leg skipped (PIYE_CI_SKIP_UBSAN=1) ==="
+  echo "=== [6/6] UBSan leg skipped (PIYE_CI_SKIP_UBSAN=1) ==="
 else
-  echo "=== [5/5] UndefinedBehaviorSanitizer build + parser/overload suites ==="
+  echo "=== [6/6] UndefinedBehaviorSanitizer build + parser/overload suites ==="
   # UBSan earns its keep where the arithmetic lives: token-bucket refill and
   # retry-after math, backoff shifting, the XML parser driven by the seeded
   # malformed-input fuzz loop, and the wire-frame decoder under the bit-flip

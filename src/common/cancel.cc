@@ -1,26 +1,26 @@
 #include "common/cancel.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
-#include <thread>
+#include <thread>  // std::this_thread::sleep_until
+
+#include "common/sync.h"
 
 namespace piye {
 
 namespace internal {
 
 struct CancelState {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool cancelled = false;
-  Status reason;
+  Mutex mu;
+  CondVar cv;
+  bool cancelled GUARDED_BY(mu) = false;
+  Status reason GUARDED_BY(mu);
 };
 
 }  // namespace internal
 
 bool CancelToken::cancelled() const {
   if (state_ != nullptr) {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     if (state_->cancelled) return true;
   }
   return has_deadline() && std::chrono::steady_clock::now() >= deadline_;
@@ -28,7 +28,7 @@ bool CancelToken::cancelled() const {
 
 Status CancelToken::status() const {
   if (state_ != nullptr) {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     if (state_->cancelled) return state_->reason;
   }
   if (has_deadline() && std::chrono::steady_clock::now() >= deadline_) {
@@ -52,8 +52,10 @@ bool CancelToken::SleepFor(std::chrono::microseconds duration) const {
     if (wake > now) std::this_thread::sleep_until(wake);
     return !has_deadline() || std::chrono::steady_clock::now() < deadline_;
   }
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait_until(lock, wake, [this] { return state_->cancelled; });
+  MutexLock lock(state_->mu);
+  while (!state_->cancelled) {
+    if (state_->cv.WaitUntil(lock, wake) == std::cv_status::timeout) break;
+  }
   if (state_->cancelled) return false;
   return !has_deadline() || std::chrono::steady_clock::now() < deadline_;
 }
@@ -68,16 +70,16 @@ CancelToken CancelSource::token() const {
 
 void CancelSource::RequestCancel(Status reason) {
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     if (state_->cancelled) return;
     state_->cancelled = true;
     state_->reason = std::move(reason);
   }
-  state_->cv.notify_all();
+  state_->cv.NotifyAll();
 }
 
 bool CancelSource::cancel_requested() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->cancelled;
 }
 

@@ -14,33 +14,33 @@ Executor::Executor(size_t num_threads) {
 
 Executor::~Executor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 size_t Executor::tasks_submitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tasks_submitted_;
 }
 
 void Executor::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++tasks_submitted_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void Executor::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(lock);
       // Drain the queue even when stopping: destructor-submitted joins rely
       // on every accepted task eventually running.
       if (queue_.empty()) return;

@@ -1,19 +1,18 @@
 #ifndef PIYE_COMMON_EXECUTOR_H_
 #define PIYE_COMMON_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <thread>
+#include <thread>  // piye-lint: allow(header-hygiene) the pool owns its worker threads
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/sync.h"
 
 namespace piye {
 
@@ -90,11 +89,13 @@ class Executor {
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
-  size_t tasks_submitted_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  size_t tasks_submitted_ GUARDED_BY(mu_) = 0;
+  /// Written in the constructor, joined in the destructor; never touched by
+  /// worker threads, so it needs no capability.
   std::vector<std::thread> threads_;
 };
 

@@ -15,7 +15,7 @@ namespace piye {
 /// undefined otherwise, so callers must check `ok()` first (or use the
 /// PIYE_ASSIGN_OR_RETURN macro from macros.h).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the success path).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

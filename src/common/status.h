@@ -35,7 +35,10 @@ const char* StatusCodeToString(StatusCode code);
 /// Arrow/RocksDB-style status object. The library does not throw exceptions
 /// across API boundaries; every fallible operation returns a `Status` or a
 /// `Result<T>` (see result.h).
-class Status {
+/// [[nodiscard]]: a dropped Status is a swallowed failure — the compiler
+/// rejects ignoring one unless the call site explicitly `(void)`s it with a
+/// justification comment (enforced by piye_lint's status-discard rule).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

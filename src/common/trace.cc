@@ -73,12 +73,12 @@ std::string JsonEscape(const std::string& s) {
 // --- Trace ---
 
 void Trace::Record(const std::string& stage, double micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   timings_.push_back({stage, micros});
 }
 
 std::vector<StageTiming> Trace::timings() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return timings_;
 }
 
@@ -113,11 +113,11 @@ MetricsRegistry::Counter* MetricsRegistry::RegisterCounter(
     const std::string& name) {
   CounterStripe& stripe = counter_stripes_[StripeOf(name)];
   {
-    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    ReaderMutexLock lock(stripe.mu);
     auto it = stripe.counters.find(name);
     if (it != stripe.counters.end()) return it->second.get();
   }
-  std::unique_lock<std::shared_mutex> lock(stripe.mu);
+  WriterMutexLock lock(stripe.mu);
   auto [it, inserted] =
       stripe.counters.try_emplace(name, std::make_unique<Counter>(0));
   (void)inserted;
@@ -127,7 +127,7 @@ MetricsRegistry::Counter* MetricsRegistry::RegisterCounter(
 void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
   CounterStripe& stripe = counter_stripes_[StripeOf(name)];
   {
-    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    ReaderMutexLock lock(stripe.mu);
     auto it = stripe.counters.find(name);
     if (it != stripe.counters.end()) {
       it->second->fetch_add(delta, std::memory_order_relaxed);
@@ -139,19 +139,19 @@ void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
 
 void MetricsRegistry::DeclareLatency(const std::string& name) {
   LatencyStripe& stripe = latency_stripes_[StripeOf(name)];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   stripe.latencies.try_emplace(name);
 }
 
 void MetricsRegistry::RecordLatency(const std::string& name, double micros) {
   LatencyStripe& stripe = latency_stripes_[StripeOf(name)];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   stripe.latencies[name].Record(micros);
 }
 
 uint64_t MetricsRegistry::counter(const std::string& name) const {
   const CounterStripe& stripe = counter_stripes_[StripeOf(name)];
-  std::shared_lock<std::shared_mutex> lock(stripe.mu);
+  ReaderMutexLock lock(stripe.mu);
   auto it = stripe.counters.find(name);
   return it == stripe.counters.end()
              ? 0
@@ -160,7 +160,7 @@ uint64_t MetricsRegistry::counter(const std::string& name) const {
 
 Histogram MetricsRegistry::latency(const std::string& name) const {
   const LatencyStripe& stripe = latency_stripes_[StripeOf(name)];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   auto it = stripe.latencies.find(name);
   return it == stripe.latencies.end() ? Histogram() : it->second;
 }
@@ -170,14 +170,14 @@ std::string MetricsRegistry::ToJson() const {
   // time), so the output is sorted and deterministic regardless of striping.
   std::map<std::string, uint64_t> counters;
   for (const CounterStripe& stripe : counter_stripes_) {
-    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    ReaderMutexLock lock(stripe.mu);
     for (const auto& [name, cell] : stripe.counters) {
       counters[name] = cell->load(std::memory_order_relaxed);
     }
   }
   std::map<std::string, Histogram> latencies;
   for (const LatencyStripe& stripe : latency_stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     for (const auto& [name, hist] : stripe.latencies) latencies[name] = hist;
   }
 
@@ -220,13 +220,13 @@ std::string MetricsRegistry::ToJson() const {
 
 void MetricsRegistry::Reset() {
   for (CounterStripe& stripe : counter_stripes_) {
-    std::unique_lock<std::shared_mutex> lock(stripe.mu);
+    WriterMutexLock lock(stripe.mu);
     for (auto& [name, cell] : stripe.counters) {
       cell->store(0, std::memory_order_relaxed);
     }
   }
   for (LatencyStripe& stripe : latency_stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     stripe.latencies.clear();
   }
 }

@@ -7,10 +7,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace piye {
 namespace trace {
@@ -34,8 +34,8 @@ class Trace {
   std::vector<StageTiming> timings() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<StageTiming> timings_;
+  mutable Mutex mu_;
+  std::vector<StageTiming> timings_ GUARDED_BY(mu_);
 };
 
 /// Fixed-bucket latency histogram (power-of-two microsecond buckets). Small
@@ -114,12 +114,14 @@ class MetricsRegistry {
   static constexpr size_t kStripes = 16;
 
   struct CounterStripe {
-    mutable std::shared_mutex mu;
-    std::map<std::string, std::unique_ptr<Counter>> counters;
+    mutable SharedMutex mu;
+    /// The *map* is guarded; the atomic cells it owns are deliberately
+    /// accessed lock-free through cached `Counter*` handles.
+    std::map<std::string, std::unique_ptr<Counter>> counters GUARDED_BY(mu);
   };
   struct LatencyStripe {
-    mutable std::mutex mu;
-    std::map<std::string, Histogram> latencies;
+    mutable Mutex mu;
+    std::map<std::string, Histogram> latencies GUARDED_BY(mu);
   };
 
   static size_t StripeOf(const std::string& name) {

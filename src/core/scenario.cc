@@ -217,6 +217,8 @@ void ClinicalScenario::ApplyPatientPolicies(source::RemoteSource* src) {
       add(col.name, policy::DisclosureForm::kExact, "healthcare", 1.0);
     }
   }
+  // Fixture wiring on a freshly built source: the only failure mode is a
+  // duplicate name, which cannot occur here.
   (void)src->mutable_policies()->AddPolicy(std::move(policy));
   (void)src->mutable_rbac()->AddRole("analyst");
   (void)src->mutable_rbac()->AssignRole("analyst", "analyst");

@@ -130,12 +130,12 @@ AdmissionController::AdmissionController(AdmissionConfig config,
 }
 
 size_t AdmissionController::inflight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return inflight_;
 }
 
 size_t AdmissionController::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -146,12 +146,12 @@ void AdmissionController::Permit::Release() {
 }
 
 void AdmissionController::Release() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t id = 0;
   if (queue_.Pop(&id)) {
     // The slot transfers to the fair-share winner; inflight_ is unchanged.
     admitted_[id] = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   } else {
     --inflight_;
   }
@@ -168,7 +168,7 @@ Result<AdmissionController::Permit> AdmissionController::Admit(
       return live;
     }
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto now = std::chrono::steady_clock::now();
 
   if (config_.tokens_per_second > 0.0) {
@@ -209,7 +209,7 @@ Result<AdmissionController::Permit> AdmissionController::Admit(
   for (;;) {
     auto wake = std::chrono::steady_clock::now() + kCancelPoll;
     if (token.has_deadline()) wake = std::min(wake, token.deadline());
-    cv_.wait_until(lock, wake);
+    cv_.WaitUntil(lock, wake);  // poll tick: timeout and wakeup both recheck
     if (auto it = admitted_.find(id); it != admitted_.end()) {
       admitted_.erase(it);
       metrics_->AddCounter("engine.admitted");
@@ -228,7 +228,7 @@ Result<AdmissionController::Permit> AdmissionController::Admit(
         uint64_t next = 0;
         if (queue_.Pop(&next)) {
           admitted_[next] = true;
-          cv_.notify_all();
+          cv_.NotifyAll();
         } else {
           --inflight_;
         }

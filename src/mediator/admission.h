@@ -2,14 +2,13 @@
 #define PIYE_MEDIATOR_ADMISSION_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/cancel.h"
+#include "common/sync.h"
 #include "common/result.h"
 #include "common/trace.h"
 
@@ -186,20 +185,20 @@ class AdmissionController {
   size_t queue_depth() const;
 
  private:
-  void Release();
+  void Release() EXCLUDES(mu_);
 
   AdmissionConfig config_;
   trace::MetricsRegistry* metrics_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  size_t inflight_ = 0;
-  uint64_t next_waiter_id_ = 0;
-  FairShareQueue queue_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  size_t inflight_ GUARDED_BY(mu_) = 0;
+  uint64_t next_waiter_id_ GUARDED_BY(mu_) = 0;
+  FairShareQueue queue_ GUARDED_BY(mu_);
   /// Waiters flipped to admitted by Release; their Admit call wakes, erases
   /// the marker, and owns the transferred slot.
-  std::map<uint64_t, bool> admitted_;
-  std::map<std::string, TokenBucket> buckets_;
+  std::map<uint64_t, bool> admitted_ GUARDED_BY(mu_);
+  std::map<std::string, TokenBucket> buckets_ GUARDED_BY(mu_);
 };
 
 }  // namespace mediator

@@ -22,7 +22,7 @@ void CircuitBreaker::OpenLocked(std::chrono::steady_clock::time_point now) {
 }
 
 bool CircuitBreaker::Admit(std::chrono::steady_clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   switch (state_) {
     case State::kClosed:
       return true;
@@ -51,7 +51,7 @@ bool CircuitBreaker::Admit(std::chrono::steady_clock::time_point now) {
 }
 
 void CircuitBreaker::OnSuccess() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   consecutive_failures_ = 0;
   if (state_ == State::kHalfOpen) {
     probe_in_flight_ = false;
@@ -64,7 +64,7 @@ void CircuitBreaker::OnSuccess() {
 }
 
 void CircuitBreaker::OnFailure(std::chrono::steady_clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (state_ == State::kHalfOpen) {
     // The probe failed: the source is still sick; go straight back to open.
     OpenLocked(now);
@@ -77,22 +77,22 @@ void CircuitBreaker::OnFailure(std::chrono::steady_clock::time_point now) {
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 
 uint32_t CircuitBreaker::consecutive_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return consecutive_failures_;
 }
 
 uint64_t CircuitBreaker::shed_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shed_total_;
 }
 
 uint64_t CircuitBreaker::opened_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return opened_total_;
 }
 

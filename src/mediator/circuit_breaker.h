@@ -3,9 +3,9 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "common/sync.h"
 #include "common/trace.h"
 
 namespace piye {
@@ -60,18 +60,18 @@ class CircuitBreaker {
   uint64_t opened_total() const;
 
  private:
-  void OpenLocked(std::chrono::steady_clock::time_point now);
+  void OpenLocked(std::chrono::steady_clock::time_point now) REQUIRES(mu_);
 
   CircuitBreakerConfig config_;
   trace::MetricsRegistry* metrics_;
-  mutable std::mutex mu_;
-  State state_ = State::kClosed;
-  uint32_t consecutive_failures_ = 0;
-  uint32_t probe_successes_ = 0;
-  bool probe_in_flight_ = false;
-  std::chrono::steady_clock::time_point open_until_{};
-  uint64_t shed_total_ = 0;
-  uint64_t opened_total_ = 0;
+  mutable Mutex mu_;
+  State state_ GUARDED_BY(mu_) = State::kClosed;
+  uint32_t consecutive_failures_ GUARDED_BY(mu_) = 0;
+  uint32_t probe_successes_ GUARDED_BY(mu_) = 0;
+  bool probe_in_flight_ GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point open_until_ GUARDED_BY(mu_){};
+  uint64_t shed_total_ GUARDED_BY(mu_) = 0;
+  uint64_t opened_total_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mediator

@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <future>
-#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -92,10 +90,10 @@ struct MediationEngine::FragmentOutcome {
 /// shared_ptr keeps the flight alive for followers even after the leader
 /// has erased it from the engine's in-flight table.
 struct MediationEngine::InflightExecution {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  Result<IntegratedResult> result{
+  Mutex mu;
+  CondVar cv;
+  bool done GUARDED_BY(mu) = false;
+  Result<IntegratedResult> result GUARDED_BY(mu){
       Status::Internal("single-flight execution still in flight")};
 };
 
@@ -200,7 +198,7 @@ Status MediationEngine::RecordDurably(
     }
     return Status::OK();
   }
-  std::lock_guard<std::mutex> lock(persist_mu_);
+  MutexLock lock(persist_mu_);
   if (persist_failed_.load()) return FailClosedStatus();
   // Sequence numbers are assigned under persist_mu_, so WAL order and
   // in-memory order agree and recovery replays exactly what executed.
@@ -249,7 +247,7 @@ Status MediationEngine::RecordDurably(
 }
 
 Status MediationEngine::Recover(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(persist_mu_);
+  MutexLock lock(persist_mu_);
   if (persist_ != nullptr) {
     return Status::InvalidArgument("Recover: persistence is already attached");
   }
@@ -378,7 +376,7 @@ Status MediationEngine::Recover(const std::string& dir) {
   // ever-growing one.
   PIYE_RETURN_NOT_OK(RotateSnapshotLocked());
   control_.set_journal([this](const PrivacyControl::JournalEvent& event) {
-    std::lock_guard<std::mutex> journal_lock(persist_mu_);
+    MutexLock journal_lock(persist_mu_);
     if (event.kind == PrivacyControl::JournalEvent::Kind::kCell) {
       return JournalLocked(RecordType::kSensitiveCell,
                            EncodeCellRecord(event.cell));
@@ -403,7 +401,7 @@ Status MediationEngine::Recover(const std::string& dir) {
 
 Status MediationEngine::ArmPersistKillPoint(persist::KillPoint kill_point,
                                             uint64_t after_appends) {
-  std::lock_guard<std::mutex> lock(persist_mu_);
+  MutexLock lock(persist_mu_);
   if (persist_ == nullptr) {
     return Status::InvalidArgument(
         "ArmPersistKillPoint: no persistence attached (call Recover first)");
@@ -415,7 +413,7 @@ Status MediationEngine::ArmPersistKillPoint(persist::KillPoint kill_point,
 void MediationEngine::AdvanceEpoch() {
   const uint64_t next = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (!persist_attached_.load()) return;
-  std::lock_guard<std::mutex> lock(persist_mu_);
+  MutexLock lock(persist_mu_);
   if (persist_failed_.load()) return;
   // Recovery takes max(snapshot epoch, journaled epochs), so out-of-order
   // appends from concurrent advancers are harmless.
@@ -424,7 +422,7 @@ void MediationEngine::AdvanceEpoch() {
 
 Status MediationEngine::EvictWarehouseOlderThan(uint64_t epoch_horizon) {
   if (persist_attached_.load()) {
-    std::lock_guard<std::mutex> lock(persist_mu_);
+    MutexLock lock(persist_mu_);
     PIYE_RETURN_NOT_OK(JournalLocked(RecordType::kWarehouseEvict,
                                      EncodeWarehouseEvictRecord(epoch_horizon)));
   }
@@ -437,7 +435,7 @@ MediationEngine::HealthReport MediationEngine::Health() const {
   report.schema_ready = schema_ready_;
   report.persistence_ok = !persist_failed_.load();
   {
-    std::lock_guard<std::mutex> lock(persist_mu_);
+    MutexLock lock(persist_mu_);
     report.persistence_enabled = persist_ != nullptr;
     if (persist_ != nullptr) report.wal_generation = persist_->generation();
   }
@@ -602,7 +600,7 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
   std::shared_ptr<InflightExecution> flight;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     auto it = inflight_.find(flight_key);
     if (it == inflight_.end()) {
       flight = std::make_shared<InflightExecution>();
@@ -617,9 +615,9 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
     // additional budget charge for this caller — the leader's (single)
     // history record already accounts the disclosure for this requester.
     metrics_.AddCounter("engine.singleflight_coalesced");
-    std::unique_lock<std::mutex> lock(flight->mu);
+    MutexLock lock(flight->mu);
     if (!options.cancel.can_fire()) {
-      flight->cv.wait(lock, [&flight] { return flight->done; });
+      while (!flight->done) flight->cv.Wait(lock);
     } else {
       // The flight's cv is only notified by its leader, so a follower whose
       // token fires polls its way out (the deadline itself is honoured
@@ -630,7 +628,7 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
         if (options.cancel.has_deadline()) {
           wake = std::min(wake, options.cancel.deadline());
         }
-        flight->cv.wait_until(lock, wake);
+        flight->cv.WaitUntil(lock, wake);
         if (!flight->done && options.cancel.cancelled()) {
           metrics_.AddCounter("engine.cancelled");
           return options.cancel.status();
@@ -647,15 +645,15 @@ Result<MediationEngine::IntegratedResult> MediationEngine::Execute(
     // point starts a fresh execution (correct — the previous answer is now
     // history, and the warehouse serves repeats), while everyone who joined
     // earlier shares the result below.
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     inflight_.erase(flight_key);
   }
   {
-    std::lock_guard<std::mutex> lock(flight->mu);
+    MutexLock lock(flight->mu);
     flight->result = result;
     flight->done = true;
   }
-  flight->cv.notify_all();
+  flight->cv.NotifyAll();
   return result;
 }
 

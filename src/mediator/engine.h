@@ -5,12 +5,12 @@
 #include <chrono>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/cancel.h"
 #include "common/executor.h"
+#include "common/sync.h"
 #include "common/result.h"
 #include "common/trace.h"
 #include "match/mediated_schema.h"
@@ -300,11 +300,12 @@ class MediationEngine {
 
   /// Appends one auxiliary record (epoch/evict/audit) and syncs; marks the
   /// engine failed on error. Caller must hold persist_mu_.
-  Status JournalLocked(RecordType type, const std::string& payload);
+  Status JournalLocked(RecordType type, const std::string& payload)
+      REQUIRES(persist_mu_);
 
   /// Snapshot of the full in-memory trust anchor into the next generation.
   /// Caller must hold persist_mu_.
-  Status RotateSnapshotLocked();
+  Status RotateSnapshotLocked() REQUIRES(persist_mu_);
 
   Status FailClosedStatus() const;
 
@@ -331,14 +332,15 @@ class MediationEngine {
   /// inserts its flight before executing and removes it before publishing;
   /// followers that joined in between wait on the flight's condition
   /// variable and share the leader's result.
-  mutable std::mutex inflight_mu_;
-  std::map<std::string, std::shared_ptr<InflightExecution>> inflight_;
+  mutable Mutex inflight_mu_;
+  std::map<std::string, std::shared_ptr<InflightExecution>> inflight_
+      GUARDED_BY(inflight_mu_);
 
-  mutable std::mutex persist_mu_;
-  std::unique_ptr<persist::StateLog> persist_;
+  mutable Mutex persist_mu_;
+  std::unique_ptr<persist::StateLog> persist_ GUARDED_BY(persist_mu_);
   std::atomic<bool> persist_attached_{false};
   std::atomic<bool> persist_failed_{false};
-  uint64_t records_since_snapshot_ = 0;  ///< guarded by persist_mu_
+  uint64_t records_since_snapshot_ GUARDED_BY(persist_mu_) = 0;
 
   /// Declared last: destroyed (joined) first, so in-flight fragment tasks
   /// finish before any other engine state is torn down. Null when

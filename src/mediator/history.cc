@@ -4,7 +4,7 @@ namespace piye {
 namespace mediator {
 
 size_t QueryHistory::Record(HistoryEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entry.sequence_number = entries_.size();
   if (entry.released) {
     cumulative_loss_[entry.requester] += entry.aggregated_privacy_loss;
@@ -14,24 +14,24 @@ size_t QueryHistory::Record(HistoryEntry entry) {
 }
 
 std::vector<HistoryEntry> QueryHistory::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_;
 }
 
 double QueryHistory::CumulativeLoss(const std::string& requester) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = cumulative_loss_.find(requester);
   return it == cumulative_loss_.end() ? 0.0 : it->second;
 }
 
 std::map<std::string, double> QueryHistory::CumulativeLosses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cumulative_loss_;
 }
 
 Status QueryHistory::Restore(std::vector<HistoryEntry> entries,
                              const std::map<std::string, double>& floors) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!entries_.empty()) {
     return Status::InvalidArgument("QueryHistory::Restore requires an empty history");
   }
@@ -49,7 +49,7 @@ Status QueryHistory::Restore(std::vector<HistoryEntry> entries,
 
 std::vector<HistoryEntry> QueryHistory::ForRequester(
     const std::string& requester) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<HistoryEntry> out;
   for (const auto& e : entries_) {
     if (e.requester == requester) out.push_back(e);

@@ -2,11 +2,11 @@
 #define PIYE_MEDIATOR_HISTORY_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace piye {
 namespace mediator {
@@ -37,7 +37,7 @@ class QueryHistory {
   size_t Record(HistoryEntry entry);
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return entries_.size();
   }
 
@@ -66,9 +66,9 @@ class QueryHistory {
                  const std::map<std::string, double>& floors);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<HistoryEntry> entries_;
-  std::map<std::string, double> cumulative_loss_;
+  mutable Mutex mu_;
+  std::vector<HistoryEntry> entries_ GUARDED_BY(mu_);
+  std::map<std::string, double> cumulative_loss_ GUARDED_BY(mu_);
 };
 
 }  // namespace mediator

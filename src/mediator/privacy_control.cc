@@ -91,7 +91,7 @@ size_t PrivacyControl::RegisterSensitiveCell(const std::string& name, double lo,
   JournalEvent event;
   event.kind = JournalEvent::Kind::kCell;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     id = auditor_.AddSensitiveValue(name, lo, hi, true_value);
     cells_.push_back({name, lo, hi, true_value});
     event.cell = cells_.back();
@@ -116,7 +116,7 @@ Result<double> PrivacyControl::Approve(uint16_t kind,
   JournalEvent event;
   event.kind = JournalEvent::Kind::kDisclosure;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto result = kind == DisclosureSpec::kMean
                       ? auditor_.DiscloseMean(cells, tol)
                       : auditor_.DiscloseStdDev(cells, tol);
@@ -148,13 +148,13 @@ Result<double> PrivacyControl::ApproveStdDevDisclosure(
 }
 
 void PrivacyControl::set_journal(Journal journal) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   journal_ = std::move(journal);
 }
 
 Status PrivacyControl::Replay(const std::vector<SensitiveCellSpec>& cells,
                               const std::vector<DisclosureSpec>& disclosures) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!cells_.empty() || !disclosures_.empty()) {
     return Status::InvalidArgument(
         "PrivacyControl::Replay requires pristine audit state");
@@ -181,14 +181,29 @@ Status PrivacyControl::Replay(const std::vector<SensitiveCellSpec>& cells,
   return Status::OK();
 }
 
+size_t PrivacyControl::disclosures_committed() const {
+  MutexLock lock(mu_);
+  return auditor_.disclosures_committed();
+}
+
+size_t PrivacyControl::disclosures_refused() const {
+  MutexLock lock(mu_);
+  return auditor_.disclosures_refused();
+}
+
+Result<std::vector<double>> PrivacyControl::CurrentLosses() const {
+  MutexLock lock(mu_);
+  return auditor_.CurrentLosses();
+}
+
 std::vector<PrivacyControl::SensitiveCellSpec> PrivacyControl::SnapshotCells() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cells_;
 }
 
 std::vector<PrivacyControl::DisclosureSpec> PrivacyControl::SnapshotDisclosures()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return disclosures_;
 }
 

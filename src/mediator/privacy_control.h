@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "inference/sequence_auditor.h"
 #include "xml/node.h"
 
@@ -110,21 +110,28 @@ class PrivacyControl {
   std::vector<SensitiveCellSpec> SnapshotCells() const;
   std::vector<DisclosureSpec> SnapshotDisclosures() const;
 
-  /// Unlocked view for inspection; callers must not race it with Approve*.
-  const inference::SequenceAuditor& auditor() const { return auditor_; }
+  /// Locked views of the auditor's committed state. (An earlier `auditor()`
+  /// accessor handed out an unlocked reference the annotation pass flagged:
+  /// reading disclosure counts while a concurrent Approve* mutated the
+  /// constraint system was a data race.)
+  size_t disclosures_committed() const EXCLUDES(mu_);
+  size_t disclosures_refused() const EXCLUDES(mu_);
+  Result<std::vector<double>> CurrentLosses() const EXCLUDES(mu_);
   double max_combined_loss() const { return max_combined_loss_; }
 
  private:
   /// Commits one disclosure under mu_, then journals it outside the lock.
   Result<double> Approve(uint16_t kind, const std::vector<size_t>& cells,
-                         double tol);
+                         double tol) EXCLUDES(mu_);
 
   double max_combined_loss_;
-  mutable std::mutex mu_;
-  inference::SequenceAuditor auditor_;
-  Journal journal_;
-  std::vector<SensitiveCellSpec> cells_;
-  std::vector<DisclosureSpec> disclosures_;
+  mutable Mutex mu_;
+  inference::SequenceAuditor auditor_ GUARDED_BY(mu_);
+  /// Copied out under mu_ and invoked outside it (ABBA-freedom vs the
+  /// engine's persistence lock — see set_journal).
+  Journal journal_ GUARDED_BY(mu_);
+  std::vector<SensitiveCellSpec> cells_ GUARDED_BY(mu_);
+  std::vector<DisclosureSpec> disclosures_ GUARDED_BY(mu_);
 };
 
 }  // namespace mediator

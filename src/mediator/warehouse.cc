@@ -76,7 +76,7 @@ void Warehouse::Put(const std::string& fingerprint, TableHandle table,
   if (table == nullptr) return;
   const size_t entry_bytes = table->ApproxBytes();
   Shard& shard = ShardFor(fingerprint);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(fingerprint);
   if (it != shard.entries.end()) {
     if (it->second.epoch > epoch) {
@@ -100,7 +100,7 @@ Warehouse::TableHandle Warehouse::Get(const std::string& fingerprint,
                                       uint64_t current_epoch,
                                       uint64_t max_age) const {
   Shard& shard = ShardFor(fingerprint);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(fingerprint);
   if (it == shard.entries.end()) {
     ++shard.misses;
@@ -128,7 +128,7 @@ size_t Warehouse::EvictOlderThan(uint64_t epoch) {
   size_t evicted = 0;
   size_t bytes_evicted = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     // The eviction index is epoch-major, so everything older than the
     // horizon is the prefix below (epoch, 0).
     while (!shard.eviction_order.empty() &&
@@ -148,7 +148,7 @@ size_t Warehouse::EvictOlderThan(uint64_t epoch) {
 size_t Warehouse::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.entries.size();
   }
   return total;
@@ -157,7 +157,7 @@ size_t Warehouse::size() const {
 size_t Warehouse::hits() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.hits;
   }
   return total;
@@ -166,7 +166,7 @@ size_t Warehouse::hits() const {
 size_t Warehouse::misses() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.misses;
   }
   return total;
@@ -175,7 +175,7 @@ size_t Warehouse::misses() const {
 size_t Warehouse::evicted_entries() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.evicted;
   }
   return total;
@@ -184,7 +184,7 @@ size_t Warehouse::evicted_entries() const {
 size_t Warehouse::bytes() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.bytes;
   }
   return total;
@@ -193,7 +193,7 @@ size_t Warehouse::bytes() const {
 std::vector<Warehouse::SnapshotEntry> Warehouse::SnapshotEntries() const {
   std::vector<SnapshotEntry> out;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     out.reserve(out.size() + shard.entries.size());
     for (const auto& [fingerprint, entry] : shard.entries) {
       out.push_back({fingerprint, entry.epoch, entry.table});

@@ -5,11 +5,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/trace.h"
 #include "relational/table.h"
 
@@ -124,14 +124,14 @@ class Warehouse {
   /// and least-recently-used within an epoch.
   using EvictionKey = std::pair<uint64_t, uint64_t>;
   struct Shard {
-    mutable std::mutex mu;
-    std::map<std::string, Entry> entries;
-    std::map<EvictionKey, std::string> eviction_order;
-    size_t bytes = 0;
-    uint64_t tick = 0;
-    size_t hits = 0;
-    size_t misses = 0;
-    size_t evicted = 0;
+    mutable Mutex mu;
+    std::map<std::string, Entry> entries GUARDED_BY(mu);
+    std::map<EvictionKey, std::string> eviction_order GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu) = 0;
+    uint64_t tick GUARDED_BY(mu) = 0;
+    size_t hits GUARDED_BY(mu) = 0;
+    size_t misses GUARDED_BY(mu) = 0;
+    size_t evicted GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const std::string& fingerprint) const {
@@ -139,10 +139,11 @@ class Warehouse {
   }
 
   /// Removes one entry (caller holds the shard lock). Returns its bytes.
-  size_t RemoveLocked(Shard& shard, std::map<std::string, Entry>::iterator it);
+  size_t RemoveLocked(Shard& shard, std::map<std::string, Entry>::iterator it)
+      REQUIRES(shard.mu);
 
   /// Evicts until the shard fits its byte slice (caller holds the lock).
-  void EnforceBudgetLocked(Shard& shard);
+  void EnforceBudgetLocked(Shard& shard) REQUIRES(shard.mu);
 
   void BumpCounter(trace::MetricsRegistry::Counter* counter,
                    uint64_t delta = 1) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>  // piye-lint: allow(raw-thread) per-connection reader threads
 #include <utility>
 
 #include "common/macros.h"
@@ -28,21 +29,21 @@ TimePoint EffectiveDeadline(const CancelToken& cancel, TimePoint fallback) {
 /// One in-flight request, parked in its connection's pending table until the
 /// reader thread demuxes the matching response (or the connection dies).
 struct NetClient::Pending {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  Status status = Status::OK();
-  Frame response;
+  Mutex mu;
+  CondVar cv;
+  bool done GUARDED_BY(mu) = false;
+  Status status GUARDED_BY(mu) = Status::OK();
+  Frame response GUARDED_BY(mu);
 
   void Complete(Status s, Frame f) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (done) return;
       done = true;
       status = std::move(s);
       response = std::move(f);
     }
-    cv.notify_all();
+    cv.NotifyAll();
   }
 };
 
@@ -52,19 +53,24 @@ struct NetClient::Pending {
 /// — and the actual teardown + redial happens lazily in EnsureConnected,
 /// which joins the reader first. `generation` fences stale teardown reports.
 struct NetClient::Conn {
-  std::mutex mu;
-  std::unique_ptr<Transport> transport;  ///< null ⇒ never connected / torn down
-  bool broken = false;                   ///< shut down, awaiting redial
-  uint64_t generation = 0;
-  std::thread reader;
-  std::map<uint64_t, std::shared_ptr<Pending>> pending;
-  size_t inflight = 0;  ///< window occupancy (includes requests being written)
-  std::condition_variable window_cv;
-  bool ever_connected = false;
+  Mutex mu;
+  /// Null ⇒ never connected / torn down. The raw pointer is copied out under
+  /// `mu` and used lock-free by the reader/writer: destruction only happens
+  /// after the reader is joined, so the copy cannot dangle.
+  std::unique_ptr<Transport> transport GUARDED_BY(mu);
+  bool broken GUARDED_BY(mu) = false;  ///< shut down, awaiting redial
+  uint64_t generation GUARDED_BY(mu) = 0;
+  // piye-lint: allow(raw-thread) dedicated reader, joined before teardown
+  std::thread reader GUARDED_BY(mu);
+  std::map<uint64_t, std::shared_ptr<Pending>> pending GUARDED_BY(mu);
+  /// Window occupancy (includes requests being written).
+  size_t inflight GUARDED_BY(mu) = 0;
+  CondVar window_cv;
+  bool ever_connected GUARDED_BY(mu) = false;
 
-  std::mutex write_mu;  ///< serializes frame writes; acquired before `mu`
+  Mutex write_mu;  ///< serializes frame writes; acquired before `mu`
 
-  bool usable() const { return transport != nullptr && !broken; }
+  bool usable() const REQUIRES(mu) { return transport != nullptr && !broken; }
 };
 
 NetClient::NetClient(ClientConfig config) : config_(std::move(config)) {
@@ -80,9 +86,9 @@ NetClient::~NetClient() { Close(); }
 void NetClient::Close() {
   if (closed_.exchange(true)) return;
   for (auto& conn : conns_) {
-    std::thread reader;
+    std::thread reader;  // piye-lint: allow(raw-thread) joined just below
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       if (conn->transport != nullptr) conn->transport->Shutdown();
       conn->broken = true;
       reader = std::move(conn->reader);
@@ -90,10 +96,10 @@ void NetClient::Close() {
     if (reader.joinable()) reader.join();
     std::map<uint64_t, std::shared_ptr<Pending>> orphaned;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       orphaned.swap(conn->pending);
       conn->transport.reset();  // reader joined; safe to destroy
-      conn->window_cv.notify_all();
+      conn->window_cv.NotifyAll();
     }
     for (auto& [id, pending] : orphaned) {
       pending->Complete(Status::Unavailable("client closed"), Frame{});
@@ -119,14 +125,14 @@ void NetClient::FailConnection(Conn& conn, uint64_t generation,
                                const Status& reason) {
   std::map<uint64_t, std::shared_ptr<Pending>> orphaned;
   {
-    std::lock_guard<std::mutex> lock(conn.mu);
+    MutexLock lock(conn.mu);
     if (conn.generation != generation) return;  // a newer connection took over
     if (conn.broken || conn.transport == nullptr) return;  // already torn down
     conn.broken = true;
     conn.transport->Shutdown();  // wakes the reader; destruction waits for it
     orphaned.swap(conn.pending);
     disconnects_.fetch_add(1, std::memory_order_relaxed);
-    conn.window_cv.notify_all();
+    conn.window_cv.NotifyAll();
   }
   for (auto& [id, pending] : orphaned) {
     pending->Complete(reason, Frame{});
@@ -138,7 +144,7 @@ void NetClient::ReaderLoop(std::shared_ptr<Conn> conn, uint64_t generation) {
   for (;;) {
     Transport* transport = nullptr;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       if (conn->generation != generation || !conn->usable()) return;
       transport = conn->transport.get();
     }
@@ -160,7 +166,7 @@ void NetClient::ReaderLoop(std::shared_ptr<Conn> conn, uint64_t generation) {
     frames_received_.fetch_add(1, std::memory_order_relaxed);
     std::shared_ptr<Pending> pending;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       if (conn->generation != generation) return;
       auto it = conn->pending.find(frame->request_id);
       if (it != conn->pending.end()) {
@@ -179,20 +185,21 @@ void NetClient::ReaderLoop(std::shared_ptr<Conn> conn, uint64_t generation) {
 Status NetClient::EnsureConnected(std::shared_ptr<Conn> conn,
                                   const CancelToken& cancel) {
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     if (conn->usable()) return Status::OK();
   }
   // A broken connection's reader exits promptly (its transport was shut
   // down); join it before destroying the transport it may be reading.
+  // piye-lint: allow(raw-thread) joined just below
   std::thread old_reader;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     if (conn->usable()) return Status::OK();  // another caller redialed
     old_reader = std::move(conn->reader);
   }
   if (old_reader.joinable()) old_reader.join();
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     if (conn->usable()) return Status::OK();
     if (!conn->reader.joinable()) conn->transport.reset();
   }
@@ -256,7 +263,7 @@ Status NetClient::EnsureConnected(std::shared_ptr<Conn> conn,
         if (!owners.ok()) {
           hs = owners.status();
         } else {
-          std::lock_guard<std::mutex> lock(owners_mu_);
+          MutexLock lock(owners_mu_);
           owners_ = std::move(*owners);
         }
       }
@@ -271,7 +278,7 @@ Status NetClient::EnsureConnected(std::shared_ptr<Conn> conn,
 
     connects_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       if (conn->usable()) return Status::OK();  // lost the redial race
       if (conn->ever_connected) {
         reconnects_.fetch_add(1, std::memory_order_relaxed);
@@ -281,7 +288,7 @@ Status NetClient::EnsureConnected(std::shared_ptr<Conn> conn,
       conn->broken = false;
       conn->generation += 1;
       const uint64_t generation = conn->generation;
-      conn->reader =
+      conn->reader =  // piye-lint: allow(raw-thread) reader thread spawn
           std::thread([this, conn, generation] { ReaderLoop(conn, generation); });
     }
     return Status::OK();
@@ -305,7 +312,7 @@ Result<Frame> NetClient::DoRequest(MessageType type, std::string payload,
   auto pending = std::make_shared<Pending>();
   uint64_t generation = 0;
   {
-    std::unique_lock<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     // Backpressure: wait for a window slot, bounded by the token deadline.
     const TimePoint wait_deadline =
         cancel.has_deadline() ? cancel.deadline() : NoDeadline();
@@ -317,8 +324,8 @@ Result<Frame> NetClient::DoRequest(MessageType type, std::string payload,
             "connection lost while awaiting a window slot");
       }
       if (wait_deadline == NoDeadline()) {
-        conn->window_cv.wait_for(lock, std::chrono::milliseconds(50));
-      } else if (conn->window_cv.wait_until(lock, wait_deadline) ==
+        conn->window_cv.WaitFor(lock, std::chrono::milliseconds(50));
+      } else if (conn->window_cv.WaitUntil(lock, wait_deadline) ==
                  std::cv_status::timeout) {
         timeouts_.fetch_add(1, std::memory_order_relaxed);
         return Status::DeadlineExceeded(
@@ -335,10 +342,10 @@ Result<Frame> NetClient::DoRequest(MessageType type, std::string payload,
 
   // Releases the window slot (and, on abnormal exits, the pending entry).
   auto cleanup = [&](bool erase_pending) {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     if (erase_pending) conn->pending.erase(request_id);
     conn->inflight -= 1;
-    conn->window_cv.notify_one();
+    conn->window_cv.NotifyOne();
   };
 
   Frame request;
@@ -346,10 +353,10 @@ Result<Frame> NetClient::DoRequest(MessageType type, std::string payload,
   request.request_id = request_id;
   request.payload = std::move(payload);
   {
-    std::lock_guard<std::mutex> write_lock(conn->write_mu);
+    MutexLock write_lock(conn->write_mu);
     Transport* transport = nullptr;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       if (conn->generation == generation && conn->usable()) {
         transport = conn->transport.get();
       }
@@ -376,28 +383,39 @@ Result<Frame> NetClient::DoRequest(MessageType type, std::string payload,
 
   // Wait for the reader to demux our response, the token to fire, or the
   // connection to die (FailConnection completes us with kUnavailable).
-  std::unique_lock<std::mutex> pending_lock(pending->mu);
-  while (!pending->done) {
-    if (!cancel.can_fire()) {
-      pending->cv.wait(pending_lock);
-      continue;
+  Status fired = Status::OK();  ///< non-OK once the token aborts the wait
+  Status status = Status::OK();
+  Frame response;
+  {
+    MutexLock pending_lock(pending->mu);
+    while (!pending->done) {
+      if (!cancel.can_fire()) {
+        pending->cv.Wait(pending_lock);
+        continue;
+      }
+      fired = cancel.Check();
+      if (fired.ok()) {
+        pending->cv.WaitFor(pending_lock, std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // abandon the request below, outside the lock
     }
-    const Status live = cancel.Check();
-    if (live.ok()) {
-      pending->cv.wait_for(pending_lock, std::chrono::milliseconds(10));
-      continue;
+    if (fired.ok()) {
+      status = pending->status;
+      response = std::move(pending->response);
     }
-    pending_lock.unlock();
+  }
+  if (!fired.ok()) {
     // Best-effort cancel so the server stops burning work on an abandoned
     // query. Failure just means the connection is already dead.
     Frame cancel_frame;
     cancel_frame.type = MessageType::kCancelRequest;
     cancel_frame.request_id = request_id;
     {
-      std::lock_guard<std::mutex> write_lock(conn->write_mu);
+      MutexLock write_lock(conn->write_mu);
       Transport* transport = nullptr;
       {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        MutexLock lock(conn->mu);
         if (conn->generation == generation && conn->usable()) {
           transport = conn->transport.get();
         }
@@ -408,14 +426,11 @@ Result<Frame> NetClient::DoRequest(MessageType type, std::string payload,
       }
     }
     cleanup(/*erase_pending=*/true);
-    if (live.IsDeadlineExceeded()) {
+    if (fired.IsDeadlineExceeded()) {
       timeouts_.fetch_add(1, std::memory_order_relaxed);
     }
-    return live;
+    return fired;
   }
-  const Status status = pending->status;
-  Frame response = std::move(pending->response);
-  pending_lock.unlock();
   cleanup(/*erase_pending=*/false);  // whoever completed us removed the entry
 
   PIYE_RETURN_NOT_OK(status);
@@ -471,7 +486,7 @@ Result<std::vector<match::ColumnSketch>> NetClient::FetchSketches(
 Result<std::vector<std::string>> NetClient::ListOwners() {
   if (closed_.load()) return Status::Unavailable("client closed");
   PIYE_RETURN_NOT_OK(EnsureConnected(conns_[0], CancelToken()));
-  std::lock_guard<std::mutex> lock(owners_mu_);
+  MutexLock lock(owners_mu_);
   return owners_;
 }
 

@@ -2,17 +2,15 @@
 #define PIYE_NET_CLIENT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/cancel.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "match/schema_matcher.h"
 #include "net/fault.h"
 #include "net/frame.h"
@@ -105,8 +103,8 @@ class NetClient {
   std::atomic<size_t> round_robin_{0};
   std::atomic<bool> closed_{false};
 
-  mutable std::mutex owners_mu_;
-  std::vector<std::string> owners_;
+  mutable Mutex owners_mu_;
+  std::vector<std::string> owners_ GUARDED_BY(owners_mu_);
 
   // Transport statistics (satellite: surfaced through Health()).
   std::atomic<uint64_t> connects_{0};

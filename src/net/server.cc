@@ -24,24 +24,26 @@ TimePoint After(uint64_t ms) {
 /// tasks completing requests for it. Responses serialize on `write_mu` so
 /// concurrent completions interleave at frame granularity, never mid-frame.
 struct SourceServer::Connection {
+  /// Set once by the accept loop before the handler thread spawns.
   std::unique_ptr<Transport> transport;
-  std::mutex write_mu;
+  Mutex write_mu;
+  // piye-lint: allow(raw-thread) per-connection handler, joined on reap/Stop
   std::thread handler;
   std::atomic<bool> dead{false};
 
-  std::mutex req_mu;
-  std::map<uint64_t, CancelSource> inflight;
+  Mutex req_mu;
+  std::map<uint64_t, CancelSource> inflight GUARDED_BY(req_mu);
 
   void RegisterRequest(uint64_t request_id, const CancelSource& source) {
-    std::lock_guard<std::mutex> lock(req_mu);
+    MutexLock lock(req_mu);
     inflight.emplace(request_id, source);
   }
   void UnregisterRequest(uint64_t request_id) {
-    std::lock_guard<std::mutex> lock(req_mu);
+    MutexLock lock(req_mu);
     inflight.erase(request_id);
   }
   void CancelRequest(uint64_t request_id) {
-    std::lock_guard<std::mutex> lock(req_mu);
+    MutexLock lock(req_mu);
     auto it = inflight.find(request_id);
     if (it != inflight.end()) {
       it->second.RequestCancel(
@@ -49,7 +51,7 @@ struct SourceServer::Connection {
     }
   }
   void CancelAll() {
-    std::lock_guard<std::mutex> lock(req_mu);
+    MutexLock lock(req_mu);
     for (auto& [id, source] : inflight) {
       source.RequestCancel(Status::Cancelled("connection closed"));
     }
@@ -65,7 +67,7 @@ void SourceServer::AddSource(const source::FederatedSource* source) {
 }
 
 uint64_t SourceServer::connections_accepted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return connections_accepted_;
 }
 
@@ -83,7 +85,11 @@ Status SourceServer::Start() {
   bound_address_ = listener_->bound_address();
   workers_ = std::make_unique<Executor>(config_.worker_threads);
   started_ = true;
-  stopping_ = false;
+  {
+    MutexLock lock(mu_);
+    stopping_ = false;
+  }
+  // piye-lint: allow(raw-thread) accept loop spawn
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -91,7 +97,7 @@ Status SourceServer::Start() {
 void SourceServer::Stop() {
   if (!started_) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   // No new connections; a blocked Accept wakes and the loop exits.
@@ -100,14 +106,19 @@ void SourceServer::Stop() {
   // Graceful drain: in-flight requests get drain_timeout_ms to finish and
   // flush their responses before connections are torn down.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    drain_cv_.wait_until(lock, After(config_.drain_timeout_ms),
-                         [this] { return outstanding_ == 0; });
+    MutexLock lock(mu_);
+    const TimePoint drain_deadline = After(config_.drain_timeout_ms);
+    while (outstanding_ != 0) {
+      if (drain_cv_.WaitUntil(lock, drain_deadline) ==
+          std::cv_status::timeout) {
+        break;  // drain budget spent; tear the connections down anyway
+      }
+    }
   }
 
   std::vector<std::shared_ptr<Connection>> conns;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     conns.swap(connections_);
   }
   for (auto& conn : conns) {
@@ -128,7 +139,7 @@ void SourceServer::Stop() {
 void SourceServer::AcceptLoop() {
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) return;
     }
     Result<Socket> accepted = listener_->Accept(After(250));
@@ -138,7 +149,7 @@ void SourceServer::AcceptLoop() {
         // long-lived server does not accumulate dead state.
         std::vector<std::shared_ptr<Connection>> reaped;
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           for (auto it = connections_.begin(); it != connections_.end();) {
             if ((*it)->dead.load(std::memory_order_acquire)) {
               reaped.push_back(std::move(*it));
@@ -164,11 +175,12 @@ void SourceServer::AcceptLoop() {
     }
     conn->transport = std::move(transport);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) return;
       ++connections_accepted_;
       connections_.push_back(conn);
     }
+    // piye-lint: allow(raw-thread) handler thread spawn
     conn->handler = std::thread([this, conn] { HandleConnection(conn); });
   }
 }
@@ -190,13 +202,13 @@ void SourceServer::HandleConnection(std::shared_ptr<Connection> conn) {
     ack.type = MessageType::kHelloAck;
     ack.request_id = hello->request_id;
     ack.payload = EncodeHelloAck(owners);
-    std::lock_guard<std::mutex> lock(conn->write_mu);
+    MutexLock lock(conn->write_mu);
     handshaken = WriteFrame(transport, ack, After(config_.frame_timeout_ms)).ok();
   }
 
   while (handshaken) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) break;  // drain: stop consuming, let responses flush
     }
     Result<Frame> frame = ReadFrame(transport, After(config_.idle_timeout_ms),
@@ -238,7 +250,7 @@ void SourceServer::HandleConnection(std::shared_ptr<Connection> conn) {
 }
 
 Status SourceServer::WriteResponse(Connection& conn, const Frame& frame) {
-  std::lock_guard<std::mutex> lock(conn.write_mu);
+  MutexLock lock(conn.write_mu);
   Status status =
       WriteFrame(*conn.transport, frame, After(config_.frame_timeout_ms));
   if (!status.ok()) {
@@ -252,7 +264,7 @@ void SourceServer::DispatchExecute(std::shared_ptr<Connection> conn,
   CancelSource cancel_source;
   conn->RegisterRequest(frame.request_id, cancel_source);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++outstanding_;
   }
   workers_->Submit([this, conn, frame = std::move(frame), cancel_source] {
@@ -282,20 +294,22 @@ void SourceServer::DispatchExecute(std::shared_ptr<Connection> conn,
     reply.type = MessageType::kExecuteResponse;
     reply.request_id = frame.request_id;
     reply.payload = EncodeExecuteResponse(resp);
+    // A failed response write already shut the transport down; the handler
+    // notices and tears the connection down.
     (void)WriteResponse(*conn, reply);
     conn->UnregisterRequest(frame.request_id);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --outstanding_;
     }
-    drain_cv_.notify_all();
+    drain_cv_.NotifyAll();
   });
 }
 
 void SourceServer::DispatchSketch(std::shared_ptr<Connection> conn,
                                   Frame frame) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++outstanding_;
   }
   workers_->Submit([this, conn, frame = std::move(frame)] {
@@ -316,12 +330,13 @@ void SourceServer::DispatchSketch(std::shared_ptr<Connection> conn,
     reply.type = MessageType::kSketchResponse;
     reply.request_id = frame.request_id;
     reply.payload = EncodeSketchResponse(resp);
+    // As above: a failed write shuts the transport down for the handler.
     (void)WriteResponse(*conn, reply);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --outstanding_;
     }
-    drain_cv_.notify_all();
+    drain_cv_.NotifyAll();
   });
 }
 

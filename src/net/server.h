@@ -1,18 +1,17 @@
 #ifndef PIYE_NET_SERVER_H_
 #define PIYE_NET_SERVER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
+#include <thread>  // piye-lint: allow(header-hygiene) the server owns its accept thread
 #include <vector>
 
 #include "common/cancel.h"
 #include "common/executor.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "net/fault.h"
 #include "net/frame.h"
 #include "net/socket.h"
@@ -98,15 +97,20 @@ class SourceServer {
 
   std::unique_ptr<Listener> listener_;
   std::unique_ptr<Executor> workers_;
+  // piye-lint: allow(raw-thread) accept loop; joined in Stop
   std::thread accept_thread_;
 
-  mutable std::mutex mu_;
-  std::condition_variable drain_cv_;
+  mutable Mutex mu_;
+  CondVar drain_cv_;
+  /// Start/Stop are not concurrent with each other (caller contract), so
+  /// `started_` needs no capability; everything the accept loop and the
+  /// worker tasks share is guarded below.
   bool started_ = false;
-  bool stopping_ = false;
-  size_t outstanding_ = 0;  ///< requests dispatched but not yet responded
-  uint64_t connections_accepted_ = 0;
-  std::vector<std::shared_ptr<Connection>> connections_;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// Requests dispatched but not yet responded.
+  size_t outstanding_ GUARDED_BY(mu_) = 0;
+  uint64_t connections_accepted_ GUARDED_BY(mu_) = 0;
+  std::vector<std::shared_ptr<Connection>> connections_ GUARDED_BY(mu_);
 };
 
 }  // namespace net

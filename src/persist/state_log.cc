@@ -115,6 +115,8 @@ Status WriteSnapshotFile(const std::string& path, std::string_view blob) {
   const std::string dir = fs::path(path).parent_path().string();
   int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (dfd >= 0) {
+    // Best effort: a directory that cannot be fsynced (some filesystems)
+    // still leaves the renamed snapshot itself durable.
     (void)::fsync(dfd);
     ::close(dfd);
   }

@@ -168,7 +168,7 @@ Status WalWriter::Die(const std::string& what) {
 }
 
 Status WalWriter::Append(uint16_t type, std::string_view payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (dead_) return Status::Unavailable("wal writer is dead (crashed earlier)");
   bool fire_now = false;
   if (kill_armed_) {
@@ -190,6 +190,8 @@ Status WalWriter::Append(uint16_t type, std::string_view payload) {
   std::string frame = EncodeFrame(type, payload);
   if (fire_now) {  // kMidRecord: force a durable torn prefix, then die
     pending_.append(frame.data(), frame.size() / 2);
+    // The injected crash is the point: the write/fsync outcome is what a
+    // dying process would have left behind, success or not.
     (void)WriteAll(fd_, pending_.data(), pending_.size());
     (void)::fsync(fd_);
     synced_ += pending_.size();
@@ -201,12 +203,12 @@ Status WalWriter::Append(uint16_t type, std::string_view payload) {
 }
 
 Status WalWriter::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return FlushLocked(/*do_fsync=*/true);
 }
 
 Status WalWriter::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return FlushLocked(/*do_fsync=*/false);
 }
 
@@ -226,6 +228,8 @@ Status WalWriter::FlushLocked(bool do_fsync) {
     (void)::fsync(fd_);
     uint64_t len = synced_ + pending_.size();
     const uint64_t torn = len > 3 ? len - 3 : 0;
+    // Injected torn block: best-effort truncation mimics the disk losing
+    // the final sectors of a synced write.
     (void)::ftruncate(fd_, static_cast<off_t>(torn));
     (void)::fsync(fd_);
     synced_ = torn;
@@ -245,12 +249,12 @@ Status WalWriter::FlushLocked(bool do_fsync) {
 }
 
 uint64_t WalWriter::synced_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return synced_;
 }
 
 void WalWriter::ArmKillPoint(KillPoint kp, uint64_t after_appends) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   kill_point_ = kp;
   kill_after_appends_ = after_appends;
   kill_armed_ = kp != KillPoint::kNone;
@@ -258,7 +262,7 @@ void WalWriter::ArmKillPoint(KillPoint kp, uint64_t after_appends) {
 }
 
 bool WalWriter::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dead_;
 }
 

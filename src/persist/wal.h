@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 
 namespace piye {
 namespace persist {
@@ -89,19 +89,21 @@ class WalWriter {
  private:
   WalWriter(int fd, uint64_t synced);
 
-  Status Die(const std::string& what);  // marks the writer crashed
-  Status FlushLocked(bool do_fsync);    // caller holds mu_
+  /// Marks the writer crashed; caller holds mu_.
+  Status Die(const std::string& what) REQUIRES(mu_);
+  Status FlushLocked(bool do_fsync) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   int fd_;
-  uint64_t synced_;        ///< durable file length
-  std::string pending_;    ///< buffered, not yet synced frames
-  bool dead_ = false;
+  uint64_t synced_ GUARDED_BY(mu_);      ///< durable file length
+  std::string pending_ GUARDED_BY(mu_);  ///< buffered, not yet synced frames
+  bool dead_ GUARDED_BY(mu_) = false;
 
-  KillPoint kill_point_ = KillPoint::kNone;
-  uint64_t kill_after_appends_ = 0;
-  bool kill_armed_ = false;
-  bool kill_pending_sync_ = false;  ///< armed sync-time kill reached its append
+  KillPoint kill_point_ GUARDED_BY(mu_) = KillPoint::kNone;
+  uint64_t kill_after_appends_ GUARDED_BY(mu_) = 0;
+  bool kill_armed_ GUARDED_BY(mu_) = false;
+  /// Armed sync-time kill reached its append.
+  bool kill_pending_sync_ GUARDED_BY(mu_) = false;
 };
 
 /// Result of scanning a WAL file. The reader is torn-write tolerant by

@@ -5,6 +5,8 @@ namespace policy {
 
 PurposeLattice PurposeLattice::Default() {
   PurposeLattice lattice;
+  // Building the fixed default tree: every parent precedes its children and
+  // no name repeats, so AddPurpose cannot fail.
   (void)lattice.AddPurpose("any", "");
   (void)lattice.AddPurpose("healthcare", "any");
   (void)lattice.AddPurpose("treatment", "healthcare");

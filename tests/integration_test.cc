@@ -196,7 +196,7 @@ TEST_F(Figure1Test, PrivateIyeControlBlocksTheBreach) {
   // before any cell is pinned beyond the threshold (privacy).
   EXPECT_GT(approved, 0u);
   EXPECT_GT(refused, 0u);
-  auto losses = control.auditor().CurrentLosses();
+  auto losses = control.CurrentLosses();
   ASSERT_TRUE(losses.ok());
   for (double l : *losses) EXPECT_LE(l, 0.85);
 }

@@ -1,0 +1,15 @@
+// Fixture: opting out of the thread-safety proof.
+#include "common/sync.h"
+
+namespace fixture {
+
+class Cache {
+ public:
+  int UnsafePeek() NO_THREAD_SAFETY_ANALYSIS { return value_; }
+
+ private:
+  Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: iostream leaked into a header.
+#ifndef FIXTURE_BAD_HEADER_HYGIENE_H_
+#define FIXTURE_BAD_HEADER_HYGIENE_H_
+
+#include <iostream>
+#include <string>
+
+namespace fixture {
+
+inline void Print(const std::string& s) { std::cout << s; }
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BAD_HEADER_HYGIENE_H_

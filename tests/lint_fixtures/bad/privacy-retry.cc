@@ -1,0 +1,16 @@
+// Fixture: retrying a privacy refusal.
+#include "common/status.h"
+
+namespace fixture {
+
+piye::Status Run(int max_retries);
+
+piye::Status Query() {
+  piye::Status s = Run(0);
+  for (int attempt = 1; s.code() == piye::StatusCode::kPrivacyViolation && attempt < 3; ++attempt) {
+    s = Run(attempt);
+  }
+  return s;
+}
+
+}  // namespace fixture

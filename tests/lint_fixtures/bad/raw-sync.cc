@@ -1,0 +1,15 @@
+// Fixture: raw std synchronization outside common/sync.h.
+#include <mutex>
+
+namespace fixture {
+
+int Count() {
+  static std::mutex mu;
+  mu.lock();
+  static int count = 0;
+  ++count;
+  mu.unlock();
+  return count;
+}
+
+}  // namespace fixture

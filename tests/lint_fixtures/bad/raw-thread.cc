@@ -1,0 +1,11 @@
+// Fixture: unmanaged thread spawn outside the executor.
+#include <thread>
+
+namespace fixture {
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: raw-record serialization away from the blessed seams (this file
+// is linted under a src/mediator/ virtual path).
+#include "relational/xml_bridge.h"
+
+namespace fixture {
+
+std::string Dump(const piye::relational::Table& table) {
+  auto doc = piye::relational::TableToXml(table, "dump");
+  return "dumped";
+}
+
+}  // namespace fixture

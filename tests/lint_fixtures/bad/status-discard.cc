@@ -1,0 +1,12 @@
+// Fixture: silently swallowed Status.
+#include "common/status.h"
+
+namespace fixture {
+
+piye::Status Teardown();
+
+void Close() {
+  (void)Teardown();
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: wall-clock scheduling.
+#include <chrono>
+
+namespace fixture {
+
+auto Deadline() {
+  return std::chrono::system_clock::now() + std::chrono::seconds(1);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: guarded access under the capability, no escape hatch.
+#include "common/sync.h"
+
+namespace fixture {
+
+class Cache {
+ public:
+  int Peek() {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: clean header.
+#ifndef FIXTURE_GOOD_HEADER_HYGIENE_H_
+#define FIXTURE_GOOD_HEADER_HYGIENE_H_
+
+#include <string>
+
+#include "common/sync.h"
+
+namespace fixture {
+
+class Named {
+ public:
+  explicit Named(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_GOOD_HEADER_HYGIENE_H_

@@ -1,0 +1,20 @@
+// Fixture: only transient transport faults are retried; the privacy verdict
+// is checked on its own, far from any retry token.
+#include "common/status.h"
+
+namespace fixture {
+
+piye::Status Run(int max_retries);
+
+piye::Status Query() {
+  piye::Status s = Run(0);
+  for (int attempt = 1; s.IsUnavailable() && attempt < 3; ++attempt) {
+    s = Run(attempt);
+  }
+  if (s.IsPrivacyViolation()) {
+    return s;
+  }
+  return s;
+}
+
+}  // namespace fixture

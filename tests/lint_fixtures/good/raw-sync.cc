@@ -1,0 +1,19 @@
+// Fixture: the annotated wrappers are the blessed primitives. A comment
+// mentioning std::mutex must not fire either.
+#include "common/sync.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  int Next() {
+    MutexLock lock(mu_);
+    return ++count_;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

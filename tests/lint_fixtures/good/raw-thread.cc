@@ -1,0 +1,11 @@
+// Fixture: work goes to the pool, not to raw threads.
+#include "common/executor.h"
+
+namespace fixture {
+
+void RunOnPool(piye::Executor& pool) {
+  auto f = pool.Submit([] { return 1; });
+  f.wait();
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: the mediator hands tables around as handles; only the blessed
+// seams materialize bytes.
+#include "relational/table.h"
+
+namespace fixture {
+
+size_t Rows(const piye::relational::Table& table) {
+  return table.records.size();
+}
+
+}  // namespace fixture

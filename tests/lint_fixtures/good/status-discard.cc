@@ -1,0 +1,21 @@
+// Fixture: every discard says why, and one comment may head a contiguous
+// block of discards.
+#include "common/status.h"
+
+namespace fixture {
+
+piye::Status Teardown();
+piye::Status Flush();
+
+void Close() {
+  (void)Teardown();  // already failing: the caller reports the first error
+
+  // Best-effort pair: the transport is gone either way.
+  (void)Teardown();
+  (void)Flush();
+
+  bool unused = true;
+  (void)unused;
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: monotonic time for deadlines.
+#include <chrono>
+
+namespace fixture {
+
+auto Deadline() {
+  return std::chrono::steady_clock::now() + std::chrono::seconds(1);
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: even the escape hatch can be suppressed, loudly.
+#include "common/sync.h"
+
+namespace fixture {
+
+class Cache {
+ public:
+  // piye-lint: allow(analysis-escape) benchmark-only racy peek, documented
+  int UnsafePeek() NO_THREAD_SAFETY_ANALYSIS { return value_; }
+
+ private:
+  Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

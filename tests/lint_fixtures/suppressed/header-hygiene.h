@@ -1,0 +1,16 @@
+// Fixture: a type that legitimately owns a thread suppresses the include ban.
+#ifndef FIXTURE_SUPPRESSED_HEADER_HYGIENE_H_
+#define FIXTURE_SUPPRESSED_HEADER_HYGIENE_H_
+
+#include <thread>  // piye-lint: allow(header-hygiene) owns its poller thread
+
+namespace fixture {
+
+struct Poller {
+  // piye-lint: allow(raw-thread) joined in the destructor
+  std::thread thread;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_SUPPRESSED_HEADER_HYGIENE_H_

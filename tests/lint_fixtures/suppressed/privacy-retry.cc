@@ -1,0 +1,11 @@
+// Fixture: a test asserting the non-retry contract mentions both tokens.
+#include "common/status.h"
+
+namespace fixture {
+
+bool RetriedPrivacyViolation(const piye::Status& s, int attempts) {
+  // piye-lint: allow(privacy-retry) asserting the contract, not breaking it
+  return attempts > 1 && s.code() == piye::StatusCode::kPrivacyViolation;
+}
+
+}  // namespace fixture

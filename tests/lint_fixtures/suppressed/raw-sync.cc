@@ -1,0 +1,8 @@
+// Fixture: a same-line suppression silences the rule.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex legacy_mu;  // piye-lint: allow(raw-sync) migrated in the next PR
+
+}  // namespace fixture

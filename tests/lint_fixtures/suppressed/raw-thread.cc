@@ -1,0 +1,11 @@
+// Fixture: a preceding-line suppression silences the rule.
+#include <thread>
+
+namespace fixture {
+
+struct Loop {
+  // piye-lint: allow(raw-thread) dedicated poller, joined in the destructor
+  std::thread poller;
+};
+
+}  // namespace fixture

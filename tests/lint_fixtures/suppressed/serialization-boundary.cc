@@ -1,0 +1,12 @@
+// Fixture: an explicitly blessed one-off (e.g. a debug dumper).
+#include "relational/xml_bridge.h"
+
+namespace fixture {
+
+std::string Dump(const piye::relational::Table& table) {
+  // piye-lint: allow(serialization-boundary) debug dump, policy-tagged upstream
+  auto doc = piye::relational::TableToXml(table, "dump");
+  return "dumped";
+}
+
+}  // namespace fixture

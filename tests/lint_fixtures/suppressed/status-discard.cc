@@ -1,0 +1,12 @@
+// Fixture: the allow marker doubles as the justification comment.
+#include "common/status.h"
+
+namespace fixture {
+
+piye::Status Teardown();
+
+void Close() {
+  (void)Teardown();  // piye-lint: allow(status-discard) shutdown path
+}
+
+}  // namespace fixture

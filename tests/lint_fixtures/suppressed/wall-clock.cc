@@ -1,0 +1,11 @@
+// Fixture: timestamping a report is a legitimate wall-clock use.
+#include <chrono>
+
+namespace fixture {
+
+auto ReportStamp() {
+  // piye-lint: allow(wall-clock) human-readable report timestamp, never scheduled on
+  return std::chrono::system_clock::now();
+}
+
+}  // namespace fixture

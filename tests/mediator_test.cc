@@ -127,7 +127,7 @@ TEST(PrivacyControlTest, InferenceAuditDelegation) {
   const size_t b = control.RegisterSensitiveCell("b", 0, 100, 30);
   ASSERT_TRUE(control.ApproveMeanDisclosure({a, b}, 0.5).ok());
   EXPECT_TRUE(control.ApproveMeanDisclosure({a}, 0.5).status().IsPrivacyViolation());
-  EXPECT_EQ(control.auditor().disclosures_committed(), 1u);
+  EXPECT_EQ(control.disclosures_committed(), 1u);
 }
 
 // --- Engine end-to-end over the patient scenario ---
@@ -148,9 +148,9 @@ class EngineTest : public ::testing::Test {
     MediationEngine::Options options;
     options.max_combined_loss = 0.95;
     engine_ = std::make_unique<MediationEngine>(options);
-    engine_->RegisterSource(hospital_.get());
-    engine_->RegisterSource(pharmacy_.get());
-    engine_->RegisterSource(lab_.get());
+    ASSERT_TRUE(engine_->RegisterSource(hospital_.get()).ok());
+    ASSERT_TRUE(engine_->RegisterSource(pharmacy_.get()).ok());
+    ASSERT_TRUE(engine_->RegisterSource(lab_.get()).ok());
     ASSERT_TRUE(engine_->GenerateMediatedSchema("shared-key").ok());
   }
 
@@ -239,7 +239,7 @@ TEST_F(EngineTest, CumulativeBudgetExhausts) {
   options.max_cumulative_loss = 0.5;
   options.enable_warehouse = false;  // force live execution every time
   MediationEngine engine(options);
-  engine.RegisterSource(hospital_.get());
+  ASSERT_TRUE(engine.RegisterSource(hospital_.get()).ok());
   ASSERT_TRUE(engine.GenerateMediatedSchema("k").ok());
   Status last = Status::OK();
   int released = 0;
@@ -266,7 +266,7 @@ TEST_F(EngineTest, UnknownAttributeFailsCleanly) {
 
 TEST_F(EngineTest, ExecuteBeforeSchemaGenerationFails) {
   MediationEngine fresh;
-  fresh.RegisterSource(hospital_.get());
+  ASSERT_TRUE(fresh.RegisterSource(hospital_.get()).ok());
   EXPECT_FALSE(fresh.Execute(MakeQuery("<select>dob</select>")).ok());
 }
 

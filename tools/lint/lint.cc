@@ -1,0 +1,499 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace piye {
+namespace lint {
+
+namespace {
+
+/// One source line split into the code that survives comment/string
+/// stripping and the concatenated comment text (used for suppressions and
+/// discard justifications).
+struct LineInfo {
+  std::string code;
+  std::string comment;
+};
+
+/// Splits `content` into lines, routing every character into either the
+/// line's code or its comment text. String and character literals are
+/// blanked from the code (their quotes remain, so "(" inside a string can
+/// never look like a call); raw strings R"delim(...)delim" are handled so a
+/// banned token inside one never fires.
+std::vector<LineInfo> SplitLines(const std::string& content) {
+  std::vector<LineInfo> lines;
+  lines.emplace_back();
+  enum class State { kCode, kString, kChar, kRawString, kLineComment, kBlockComment };
+  State state = State::kCode;
+  std::string raw_delim;  // the )delim" terminator of an active raw string
+
+  const size_t n = content.size();
+  for (size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      // Line comments end at the newline; every other state carries over.
+      if (state == State::kLineComment) state = State::kCode;
+      lines.emplace_back();
+      continue;
+    }
+    LineInfo& line = lines.back();
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (line.code.empty() ||
+                    (!std::isalnum(static_cast<unsigned char>(line.code.back())) &&
+                     line.code.back() != '_'))) {
+          // R"delim( — capture the delimiter so we know the terminator.
+          size_t j = i + 2;
+          std::string delim;
+          while (j < n && content[j] != '(' && content[j] != '\n') {
+            delim += content[j++];
+          }
+          if (j < n && content[j] == '(') {
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+            line.code += "\"";
+            i = j;
+          } else {
+            line.code += c;  // not actually a raw string
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          line.code += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          line.code += c;
+        } else {
+          line.code += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip the escaped character (even across a quote)
+        } else if (c == '"') {
+          state = State::kCode;
+          line.code += c;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          line.code += c;
+        }
+        break;
+      case State::kRawString:
+        if (c == raw_delim[0] && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+          line.code += "\"";
+        }
+        break;
+      case State::kLineComment:
+        line.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          line.comment += c;
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+bool PathHas(const std::string& path, const std::string& fragment) {
+  return path.find(fragment) != std::string::npos;
+}
+
+bool IsHeader(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+/// True when `token` occurs in `code` as a complete token: neither neighbor
+/// is an identifier character, so `my_system_clock` and `system_clocks`
+/// never match, while qualified uses (`std::chrono::system_clock`) do.
+bool HasToken(const std::string& code, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const char before = pos == 0 ? '\0' : code[pos - 1];
+    const size_t end = pos + token.size();
+    const char after = end < code.size() ? code[end] : '\0';
+    const auto ident = [](char ch) {
+      return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_';
+    };
+    if (!ident(before) && !ident(after)) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool ContainsCaseInsensitive(const std::string& haystack, const std::string& needle) {
+  auto it = std::search(haystack.begin(), haystack.end(), needle.begin(), needle.end(),
+                        [](char a, char b) {
+                          return std::tolower(static_cast<unsigned char>(a)) ==
+                                 std::tolower(static_cast<unsigned char>(b));
+                        });
+  return it != haystack.end();
+}
+
+/// The suppression marker for `rule`, honored on the finding's line or the
+/// line directly above it.
+bool Suppressed(const std::vector<LineInfo>& lines, size_t idx, const std::string& rule) {
+  const std::string marker = "piye-lint: allow(" + rule + ")";
+  if (lines[idx].comment.find(marker) != std::string::npos) return true;
+  return idx > 0 && lines[idx - 1].comment.find(marker) != std::string::npos;
+}
+
+/// `#include <name>` / `#include "name"` on a (comment-stripped) line, or
+/// empty when the line is not an include.
+std::string IncludeTarget(const std::string& code) {
+  size_t pos = code.find('#');
+  if (pos == std::string::npos) return "";
+  ++pos;
+  while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos]))) ++pos;
+  if (code.compare(pos, 7, "include") != 0) return "";
+  pos += 7;
+  while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos]))) ++pos;
+  if (pos >= code.size()) return "";
+  const char open = code[pos];
+  const char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+  if (close == '\0') return "";
+  const size_t end = code.find(close, pos + 1);
+  if (end == std::string::npos) return "";
+  return code.substr(pos + 1, end - pos - 1);
+}
+
+using Emit = std::vector<Finding>&;
+
+void AddFinding(Emit out, const std::string& file, size_t idx, const std::string& rule,
+                const std::string& message) {
+  out.push_back(Finding{file, idx + 1, rule, message});
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// raw-sync: the annotated wrappers in common/sync.h are the only
+/// synchronization primitives; using std's directly bypasses the
+/// thread-safety analysis entirely.
+void CheckRawSync(const std::string& path, const std::vector<LineInfo>& lines, Emit out) {
+  static const char* kRule = "raw-sync";
+  if (PathHas(path, "common/sync.h")) return;
+  static const std::vector<std::string> kBanned = {
+      "std::mutex",         "std::timed_mutex",       "std::recursive_mutex",
+      "std::shared_mutex",  "std::shared_timed_mutex", "std::condition_variable",
+      "std::condition_variable_any", "std::lock_guard", "std::unique_lock",
+      "std::shared_lock",   "std::scoped_lock"};
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (const auto& token : kBanned) {
+      if (HasToken(lines[i].code, token) && !Suppressed(lines, i, kRule)) {
+        AddFinding(out, path, i, kRule,
+                   token + " outside common/sync.h; use the annotated piye::Mutex/"
+                           "MutexLock/CondVar wrappers so the thread-safety "
+                           "analysis sees the lock");
+        break;  // one finding per line is enough
+      }
+    }
+  }
+}
+
+/// raw-thread: thread ownership is concentrated in the executor; anything
+/// else spawning threads must say so explicitly with a suppression (the net
+/// reader/handler threads do).
+void CheckRawThread(const std::string& path, const std::vector<LineInfo>& lines, Emit out) {
+  static const char* kRule = "raw-thread";
+  if (PathHas(path, "common/sync.h") || PathHas(path, "common/executor.")) return;
+  static const std::vector<std::string> kBanned = {"std::thread", "std::jthread",
+                                                   "pthread_create"};
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (const auto& token : kBanned) {
+      if (HasToken(lines[i].code, token) && !Suppressed(lines, i, kRule)) {
+        AddFinding(out, path, i, kRule,
+                   token + " outside common/executor; submit work to the pool, or "
+                           "suppress with a comment explaining who joins the thread");
+        break;
+      }
+    }
+  }
+}
+
+/// wall-clock: scheduling on system_clock breaks under NTP adjustment —
+/// deadlines, backoff and spans all use steady_clock (PR 1 converted the
+/// stragglers; this keeps them out).
+void CheckWallClock(const std::string& path, const std::vector<LineInfo>& lines, Emit out) {
+  static const char* kRule = "wall-clock";
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (HasToken(lines[i].code, "system_clock") && !Suppressed(lines, i, kRule)) {
+      AddFinding(out, path, i, kRule,
+                 "system_clock in a scheduling/timing path; use "
+                 "std::chrono::steady_clock (wall time moves under NTP)");
+    }
+  }
+}
+
+/// privacy-retry: a privacy refusal is a *verdict*, not a transient fault.
+/// Retrying it hammers the auditor with the same disclosure request and, for
+/// randomized defenses, hands the attacker fresh noise draws to average.
+void CheckPrivacyRetry(const std::string& path, const std::vector<LineInfo>& lines, Emit out) {
+  static const char* kRule = "privacy-retry";
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    const bool privacy =
+        HasToken(code, "kPrivacyViolation") || HasToken(code, "IsPrivacyViolation");
+    if (!privacy) continue;
+    const bool retryish = ContainsCaseInsensitive(code, "retry") ||
+                          ContainsCaseInsensitive(code, "attempt") ||
+                          ContainsCaseInsensitive(code, "backoff");
+    if (retryish && !Suppressed(lines, i, kRule)) {
+      AddFinding(out, path, i, kRule,
+                 "retry logic keyed on a privacy violation; privacy refusals are "
+                 "final verdicts and must never be retried");
+    }
+  }
+}
+
+/// serialization-boundary: record tables cross into/out of XML only at the
+/// blessed seams, so every raw-record byte stream is policy-checked and
+/// perturbation-tagged before it exists.
+void CheckSerializationBoundary(const std::string& path, const std::vector<LineInfo>& lines,
+                                Emit out) {
+  static const char* kRule = "serialization-boundary";
+  static const std::vector<std::string> kBlessed = {
+      "relational/",       "policy/",
+      "source/remote_source", "source/metadata_tagger",
+      "mediator/persistence.cc", "mediator/result_integrator.cc",
+      "net/wire.cc"};
+  for (const auto& prefix : kBlessed) {
+    if (PathHas(path, prefix)) return;
+  }
+  static const std::vector<std::string> kSeams = {"TableToXml", "XmlToTable",
+                                                  "TableFromXmlRecords"};
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (const auto& token : kSeams) {
+      if (HasToken(lines[i].code, token) && !Suppressed(lines, i, kRule)) {
+        AddFinding(out, path, i, kRule,
+                   token + " outside the blessed serialization seams; raw records "
+                           "must only (de)materialize where policy tagging is applied");
+        break;
+      }
+    }
+  }
+}
+
+/// status-discard: `(void)call()` swallows a [[nodiscard]] Status/Result.
+/// Sometimes that is right (already-failing teardown paths) — but then the
+/// line must say why. A comment on the line, on the line above, or heading a
+/// contiguous block of discards counts as the justification.
+void CheckStatusDiscard(const std::string& path, const std::vector<LineInfo>& lines, Emit out) {
+  static const char* kRule = "status-discard";
+  bool prev_was_justified_discard = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    const size_t pos = code.find("(void)");
+    if (pos == std::string::npos) {
+      // Blank separator lines do not break a justified block; code does.
+      if (!code.empty() &&
+          code.find_first_not_of(" \t") != std::string::npos) {
+        prev_was_justified_discard = false;
+      }
+      continue;
+    }
+    // `int f(void)` — a parameter list, not a discard.
+    if (pos > 0 && (std::isalnum(static_cast<unsigned char>(code[pos - 1])) ||
+                    code[pos - 1] == '_')) {
+      continue;
+    }
+    // Walk the discarded expression: a plain `(void)identifier;` silences an
+    // unused variable, which needs no justification; a `(` makes it a call.
+    bool is_call = false;
+    for (size_t j = pos + 6; j < code.size(); ++j) {
+      const char c = code[j];
+      if (c == '(') {
+        is_call = true;
+        break;
+      }
+      if (c == ';') break;
+    }
+    if (!is_call) continue;
+    const bool justified = !lines[i].comment.empty() ||
+                           (i > 0 && !lines[i - 1].comment.empty()) ||
+                           prev_was_justified_discard;
+    if (!justified && !Suppressed(lines, i, kRule)) {
+      AddFinding(out, path, i, kRule,
+                 "(void)-discarded call with no justification comment; say why "
+                 "ignoring this Status is safe");
+      prev_was_justified_discard = false;
+    } else {
+      prev_was_justified_discard = true;
+    }
+  }
+}
+
+/// header-hygiene: headers must not leak iostream (code size, init-order
+/// fiascos) nor the raw threading headers the sync/executor wrappers exist
+/// to encapsulate.
+void CheckHeaderHygiene(const std::string& path, const std::vector<LineInfo>& lines, Emit out) {
+  static const char* kRule = "header-hygiene";
+  if (!IsHeader(path)) return;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string target = IncludeTarget(lines[i].code);
+    if (target.empty()) continue;
+    std::string why;
+    if (target == "iostream") {
+      why = "<iostream> in a header drags stream globals into every TU; "
+            "include it in the .cc that actually prints";
+    } else if ((target == "mutex" || target == "shared_mutex" ||
+                target == "condition_variable") &&
+               !PathHas(path, "common/sync.h")) {
+      why = "<" + target + "> in a header outside common/sync.h; use the "
+            "annotated wrappers from common/sync.h";
+    } else if (target == "thread" && !PathHas(path, "common/executor.h") &&
+               !PathHas(path, "common/sync.h")) {
+      why = "<thread> in a header outside common/executor.h; threads are owned "
+            "by the executor (suppress if this type legitimately owns one)";
+    }
+    if (!why.empty() && !Suppressed(lines, i, kRule)) {
+      AddFinding(out, path, i, kRule, why);
+    }
+  }
+}
+
+/// analysis-escape: NO_THREAD_SAFETY_ANALYSIS outside sync.h would let code
+/// opt out of the proof the whole tentpole exists to provide. This enforces
+/// the acceptance criterion directly.
+void CheckAnalysisEscape(const std::string& path, const std::vector<LineInfo>& lines, Emit out) {
+  static const char* kRule = "analysis-escape";
+  if (PathHas(path, "common/sync.h")) return;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (HasToken(lines[i].code, "NO_THREAD_SAFETY_ANALYSIS") &&
+        !Suppressed(lines, i, kRule)) {
+      AddFinding(out, path, i, kRule,
+                 "NO_THREAD_SAFETY_ANALYSIS outside common/sync.h; there is no "
+                 "escape hatch in application code — fix the annotation instead");
+    }
+  }
+}
+
+struct Rule {
+  const char* name;
+  const char* description;
+  void (*check)(const std::string&, const std::vector<LineInfo>&, Emit);
+};
+
+const std::vector<Rule>& Rules() {
+  static const std::vector<Rule> kRules = {
+      {"raw-sync",
+       "std sync primitives outside common/sync.h (bypass the annotated wrappers)",
+       CheckRawSync},
+      {"raw-thread",
+       "std::thread/pthread_create outside common/executor (unmanaged threads)",
+       CheckRawThread},
+      {"wall-clock", "system_clock in timing paths (use steady_clock)",
+       CheckWallClock},
+      {"privacy-retry",
+       "retry logic keyed on kPrivacyViolation (privacy refusals are final)",
+       CheckPrivacyRetry},
+      {"serialization-boundary",
+       "record (de)serialization outside the blessed policy-tagged seams",
+       CheckSerializationBoundary},
+      {"status-discard",
+       "(void)-discarded Status/Result call without a justification comment",
+       CheckStatusDiscard},
+      {"header-hygiene",
+       "banned includes in headers (iostream, raw sync/thread headers)",
+       CheckHeaderHygiene},
+      {"analysis-escape",
+       "NO_THREAD_SAFETY_ANALYSIS outside common/sync.h (no opt-outs)",
+       CheckAnalysisEscape},
+  };
+  return kRules;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const auto& rule : Rules()) names.push_back(rule.name);
+    return names;
+  }();
+  return kNames;
+}
+
+std::string RuleDescription(const std::string& rule) {
+  for (const auto& r : Rules()) {
+    if (rule == r.name) return r.description;
+  }
+  return "";
+}
+
+std::vector<Finding> RunLint(const std::vector<FileContent>& files) {
+  std::vector<Finding> findings;
+  for (const auto& file : files) {
+    const std::vector<LineInfo> lines = SplitLines(file.content);
+    for (const auto& rule : Rules()) {
+      rule.check(file.path, lines, findings);
+    }
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\"count\": " << findings.size() << ", \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out << ", ";
+    out << "{\"file\": \"" << JsonEscape(f.file) << "\", \"line\": " << f.line
+        << ", \"rule\": \"" << JsonEscape(f.rule) << "\", \"message\": \""
+        << JsonEscape(f.message) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace lint
+}  // namespace piye

@@ -5,8 +5,8 @@
 // and a net::SourceServer serves ExecuteFragment / ExportSketches over TCP
 // or a Unix domain socket.
 //
-//   source_server --listen=unix:/tmp/hospital.sock \
-//     --source=owner=hospital,table=hospital,file=/tmp/hospital.xml,seed=11 \
+//   source_server --listen=unix:/tmp/hospital.sock
+//     --source=owner=hospital,table=hospital,file=/tmp/hospital.xml,seed=11
 //     --clinical-policies
 //
 // Flags:
