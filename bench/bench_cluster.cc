@@ -191,7 +191,7 @@ std::string RecordsXml(const relational::Table& table) {
   for (size_t r = 0; r < table.num_rows(); ++r) {
     xml::XmlNode* record = root->AddElement("patient");
     for (size_t c = 0; c < table.schema().num_columns(); ++c) {
-      const relational::Value& v = table.row(r)[c];
+      const relational::Value v = table.Cell(r, c);
       if (v.is_null()) continue;
       record->AddElementWithText(table.schema().column(c).name,
                                  v.ToDisplayString());

@@ -6,7 +6,9 @@
 # toolchain is present), then the same suite under AddressSanitizer
 # (PIYE_SANITIZE=address), then the concurrency suites under ThreadSanitizer
 # (PIYE_SANITIZE=thread), then the parser/overload suites under UBSan
-# (PIYE_SANITIZE=undefined). The analysis leg runs before the sanitizer legs
+# (PIYE_SANITIZE=undefined), then the columnar hot-path gate
+# (bench_fig2_pipeline --quick: speedup + value-identity against the row
+# reference engine). The analysis leg runs before the sanitizer legs
 # on purpose: it needs no test execution, so a lock-discipline or
 # invariant violation fails CI in seconds instead of after three sanitizer
 # builds. The ASan leg matters for the durability layer — the WAL/recovery
@@ -27,6 +29,7 @@
 #   PIYE_CI_SKIP_ASAN=1 scripts/ci.sh     # skip the ASan leg
 #   PIYE_CI_SKIP_TSAN=1 scripts/ci.sh     # skip the TSan leg
 #   PIYE_CI_SKIP_UBSAN=1 scripts/ci.sh    # skip the UBSan leg
+#   PIYE_CI_SKIP_BENCH=1 scripts/ci.sh    # skip the columnar hot-path gate
 #
 # Exits non-zero on any build failure, compiler warning, test failure,
 # lint finding, thread-safety violation, or sanitizer report.
@@ -42,16 +45,16 @@ if [[ "${PIYE_CI_SKIP_NET:-0}" == "1" ]]; then
   CTEST_EXCLUDE=(-E '^net_cluster_test$')
 fi
 
-echo "=== [1/6] build (warning-free: -Werror) + test ==="
+echo "=== [1/7] build (warning-free: -Werror) + test ==="
 cmake -B "$ROOT/build" -S "$ROOT" -DPIYE_WERROR=ON
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
   "${CTEST_EXCLUDE[@]}"
 
 if [[ "${PIYE_CI_SKIP_NET:-0}" == "1" ]]; then
-  echo "=== [2/6] multi-process federation leg skipped (PIYE_CI_SKIP_NET=1) ==="
+  echo "=== [2/7] multi-process federation leg skipped (PIYE_CI_SKIP_NET=1) ==="
 else
-  echo "=== [2/6] multi-process federation: source servers over UDS ==="
+  echo "=== [2/7] multi-process federation: source servers over UDS ==="
   # Builds the server binary and drives a mediation engine against three
   # real source_server processes: byte-identity with the in-process path,
   # SIGKILL degradation to quorum, breaker reopen after restart, graceful
@@ -61,9 +64,9 @@ else
 fi
 
 if [[ "${PIYE_CI_SKIP_ANALYSIS:-0}" == "1" ]]; then
-  echo "=== [3/6] static analysis leg skipped (PIYE_CI_SKIP_ANALYSIS=1) ==="
+  echo "=== [3/7] static analysis leg skipped (PIYE_CI_SKIP_ANALYSIS=1) ==="
 else
-  echo "=== [3/6] static analysis: piye_lint + clang thread-safety ==="
+  echo "=== [3/7] static analysis: piye_lint + clang thread-safety ==="
   # piye_lint: repo-specific structural rules (raw sync primitives, analysis
   # escape hatches, privacy-retry, serialization boundaries, status
   # discards, header hygiene — see tools/lint/lint.h). Any finding fails CI;
@@ -89,9 +92,9 @@ else
 fi
 
 if [[ "${PIYE_CI_SKIP_ASAN:-0}" == "1" ]]; then
-  echo "=== [4/6] ASan leg skipped (PIYE_CI_SKIP_ASAN=1) ==="
+  echo "=== [4/7] ASan leg skipped (PIYE_CI_SKIP_ASAN=1) ==="
 else
-  echo "=== [4/6] AddressSanitizer build + test ==="
+  echo "=== [4/7] AddressSanitizer build + test ==="
   # halt_on_error makes a sanitizer report fail the test that produced it;
   # leak detection stays off to match scripts/sanitize.sh (ptrace is often
   # unavailable in CI containers).
@@ -104,40 +107,58 @@ else
 fi
 
 if [[ "${PIYE_CI_SKIP_TSAN:-0}" == "1" ]]; then
-  echo "=== [5/6] TSan leg skipped (PIYE_CI_SKIP_TSAN=1) ==="
+  echo "=== [5/7] TSan leg skipped (PIYE_CI_SKIP_TSAN=1) ==="
 else
-  echo "=== [5/6] ThreadSanitizer build + concurrency suites ==="
+  echo "=== [5/7] ThreadSanitizer build + concurrency suites ==="
   # The TSan leg runs the suites that exercise real lock/atomic contention:
   # the sharded warehouse + single-flight scale suite, the engine fan-out
   # suite, the admission/cancellation suite and chaos/soak harness, the
   # crash/recovery suite (durable journaling under Execute), and the net
   # suite (client reader/writer threads vs server accept/worker threads,
-  # reconnect teardown races, window backpressure).
+  # reconnect teardown races, window backpressure), plus the relational
+  # suite so the copy-on-write column sharing (shared_ptr buffers cloned on
+  # MutableColumn) is exercised under the race detector.
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
   cmake -B "$ROOT/build-threadsan" -S "$ROOT" -DPIYE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ROOT/build-threadsan" -j "$JOBS" --target \
     warehouse_scale_test concurrency_test recovery_test admission_test \
-    chaos_soak_test net_test
+    chaos_soak_test net_test relational_test
   ctest --test-dir "$ROOT/build-threadsan" --output-on-failure -j "$JOBS" \
-    -R '^(warehouse_scale_test|concurrency_test|recovery_test|admission_test|chaos_soak_test|net_test)$'
+    -R '^(warehouse_scale_test|concurrency_test|recovery_test|admission_test|chaos_soak_test|net_test|relational_test)$'
 fi
 
 if [[ "${PIYE_CI_SKIP_UBSAN:-0}" == "1" ]]; then
-  echo "=== [6/6] UBSan leg skipped (PIYE_CI_SKIP_UBSAN=1) ==="
+  echo "=== [6/7] UBSan leg skipped (PIYE_CI_SKIP_UBSAN=1) ==="
 else
-  echo "=== [6/6] UndefinedBehaviorSanitizer build + parser/overload suites ==="
+  echo "=== [6/7] UndefinedBehaviorSanitizer build + parser/overload suites ==="
   # UBSan earns its keep where the arithmetic lives: token-bucket refill and
   # retry-after math, backoff shifting, the XML parser driven by the seeded
-  # malformed-input fuzz loop, and the wire-frame decoder under the bit-flip
-  # and random-garbage fuzz tests.
+  # malformed-input fuzz loop, the wire-frame decoder under the bit-flip
+  # and random-garbage fuzz tests, and the relational suite's differential
+  # harness (validity-bitmap shifts, int64 overflow-checked SUM, typed
+  # buffer reinterpretation in the columnar engine).
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
   cmake -B "$ROOT/build-ubsan" -S "$ROOT" -DPIYE_SANITIZE=undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ROOT/build-ubsan" -j "$JOBS" --target \
-    xml_test admission_test chaos_soak_test common_test net_test
+    xml_test admission_test chaos_soak_test common_test net_test \
+    relational_test
   ctest --test-dir "$ROOT/build-ubsan" --output-on-failure -j "$JOBS" \
-    -R '^(xml_test|admission_test|chaos_soak_test|common_test|net_test)$'
+    -R '^(xml_test|admission_test|chaos_soak_test|common_test|net_test|relational_test)$'
+fi
+
+if [[ "${PIYE_CI_SKIP_BENCH:-0}" == "1" ]]; then
+  echo "=== [7/7] columnar hot-path gate skipped (PIYE_CI_SKIP_BENCH=1) ==="
+else
+  echo "=== [7/7] columnar hot-path gate: bench_fig2_pipeline --quick ==="
+  # Times the vectorized engine against the row-at-a-time reference on the
+  # aggregation and rank-swap hot paths, requires cell-for-cell identical
+  # answers, and fails unless aggregation clears its speedup bar. Catches
+  # both silent value drift and a perf regression that would quietly undo
+  # the columnar rebuild.
+  cmake --build "$ROOT/build" -j "$JOBS" --target bench_fig2_pipeline
+  "$ROOT/build/bench/bench_fig2_pipeline" --quick
 fi
 
 echo "=== CI green ==="

@@ -20,11 +20,16 @@ Result<std::map<std::vector<std::string>, std::vector<size_t>>> GroupByQi(
     PIYE_ASSIGN_OR_RETURN(size_t i, table.schema().IndexOf(col));
     idx.push_back(i);
   }
+  // Column-at-a-time: read each QI cell straight from its column instead of
+  // materializing a full row per cell.
+  std::vector<const relational::ColumnVector*> cols;
+  cols.reserve(idx.size());
+  for (size_t i : idx) cols.push_back(&table.col(i));
   std::map<std::vector<std::string>, std::vector<size_t>> groups;
   for (size_t r = 0; r < table.num_rows(); ++r) {
     std::vector<std::string> key;
     key.reserve(idx.size());
-    for (size_t i : idx) key.push_back(table.row(r)[i].ToDisplayString());
+    for (const auto* col : cols) key.push_back(col->ValueAt(r).ToDisplayString());
     groups[key].push_back(r);
   }
   return groups;
@@ -68,9 +73,10 @@ Result<bool> IsLDiverse(const relational::Table& table,
                         const std::string& sensitive_column, size_t l) {
   PIYE_ASSIGN_OR_RETURN(auto groups, GroupByQi(table, qi_columns));
   PIYE_ASSIGN_OR_RETURN(size_t sens, table.schema().IndexOf(sensitive_column));
+  const relational::ColumnVector& sens_col = table.col(sens);
   for (const auto& [_, rows] : groups) {
     std::map<std::string, size_t> distinct;
-    for (size_t r : rows) ++distinct[table.row(r)[sens].ToDisplayString()];
+    for (size_t r : rows) ++distinct[sens_col.ValueAt(r).ToDisplayString()];
     if (distinct.size() < l) return false;
   }
   return true;
@@ -87,24 +93,30 @@ Result<AnonymizationResult> KAnonymizer::ApplyLevels(
     PIYE_ASSIGN_OR_RETURN(size_t i, input.schema().IndexOf(qi.column));
     qi_idx.push_back(i);
   }
+  std::vector<long> qi_of(input.schema().num_columns(), -1);
+  for (size_t q = 0; q < qi_idx.size(); ++q) qi_of[qi_idx[q]] = static_cast<long>(q);
   relational::Schema schema;
   for (size_t c = 0; c < input.schema().num_columns(); ++c) {
-    bool is_qi = false;
-    for (size_t i : qi_idx) {
-      if (i == c) is_qi = true;
-    }
     schema.AddColumn({input.schema().column(c).name,
-                      is_qi ? relational::ColumnType::kString
-                            : input.schema().column(c).type});
+                      qi_of[c] >= 0 ? relational::ColumnType::kString
+                                    : input.schema().column(c).type});
   }
-  relational::Table generalized(schema);
-  for (size_t r = 0; r < input.num_rows(); ++r) {
-    relational::Row row = input.row(r);
-    for (size_t q = 0; q < qis_.size(); ++q) {
-      row[qi_idx[q]] = relational::Value::Str(
-          qis_[q].hierarchy->Generalize(input.row(r)[qi_idx[q]], levels[q]));
+  // Column-wise build: non-QI columns are copied whole, each QI column is
+  // generalized in one pass into a fresh STRING column.
+  relational::Table generalized;
+  for (size_t c = 0; c < input.schema().num_columns(); ++c) {
+    if (qi_of[c] < 0) {
+      generalized.AddColumn(schema.column(c), input.col(c));
+      continue;
     }
-    generalized.AppendRowUnchecked(std::move(row));
+    const size_t q = static_cast<size_t>(qi_of[c]);
+    const relational::ColumnVector& cv = input.col(c);
+    relational::ColumnVector data(relational::ColumnType::kString);
+    data.Reserve(input.num_rows());
+    for (size_t r = 0; r < input.num_rows(); ++r) {
+      data.AppendStr(qis_[q].hierarchy->Generalize(cv.ValueAt(r), levels[q]));
+    }
+    generalized.AddColumn(schema.column(c), std::move(data));
   }
   // Suppress undersized classes.
   std::vector<std::string> qi_cols;
@@ -120,10 +132,12 @@ Result<AnonymizationResult> KAnonymizer::ApplyLevels(
   AnonymizationResult out;
   out.levels = levels;
   out.suppressed_rows = suppressed;
-  out.table = relational::Table(schema);
+  std::vector<uint32_t> sel;
+  sel.reserve(generalized.num_rows());
   for (size_t r = 0; r < generalized.num_rows(); ++r) {
-    if (keep[r]) out.table.AppendRowUnchecked(generalized.row(r));
+    if (keep[r]) sel.push_back(static_cast<uint32_t>(r));
   }
+  out.table = generalized.Gather(sel);
   return out;
 }
 
@@ -201,6 +215,19 @@ Result<relational::Table> Mondrian::Anonymize(const relational::Table& input) co
   if (input.num_rows() < k_) {
     return Status::PrivacyViolation("fewer rows than k");
   }
+  // Per-dimension typed readers (validated numeric above); a NULL cell reads
+  // as its zeroed slot.
+  std::vector<const relational::ColumnVector*> dim_cols;
+  std::vector<bool> dim_is_int;
+  for (size_t i : qi_idx) {
+    dim_cols.push_back(&input.col(i));
+    dim_is_int.push_back(input.schema().column(i).type ==
+                         relational::ColumnType::kInt64);
+  }
+  auto num_at = [&](size_t d, size_t r) {
+    return dim_is_int[d] ? static_cast<double>(dim_cols[d]->IntAt(r))
+                         : dim_cols[d]->RealAt(r);
+  };
   // Recursive median partitioning.
   std::vector<MondrianPartition> final_parts;
   std::vector<MondrianPartition> work;
@@ -217,7 +244,7 @@ Result<relational::Table> Mondrian::Anonymize(const relational::Table& input) co
       double lo = 0.0, hi = 0.0;
       bool first = true;
       for (size_t r : part.rows) {
-        const double x = input.row(r)[qi_idx[d]].AsDouble();
+        const double x = num_at(d, r);
         if (first) {
           lo = hi = x;
           first = false;
@@ -235,15 +262,14 @@ Result<relational::Table> Mondrian::Anonymize(const relational::Table& input) co
     if (best_dim < qi_idx.size() && part.rows.size() >= 2 * k_ && best_range > 0.0) {
       // Median split on best_dim.
       std::vector<size_t> sorted = part.rows;
-      const size_t col = qi_idx[best_dim];
       std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
-        return input.row(a)[col].AsDouble() < input.row(b)[col].AsDouble();
+        return num_at(best_dim, a) < num_at(best_dim, b);
       });
       const size_t mid = sorted.size() / 2;
-      const double split_value = input.row(sorted[mid])[col].AsDouble();
+      const double split_value = num_at(best_dim, sorted[mid]);
       MondrianPartition left, right;
       for (size_t r : sorted) {
-        if (input.row(r)[col].AsDouble() < split_value) {
+        if (num_at(best_dim, r) < split_value) {
           left.rows.push_back(r);
         } else {
           right.rows.push_back(r);
@@ -266,7 +292,15 @@ Result<relational::Table> Mondrian::Anonymize(const relational::Table& input) co
                       is_qi ? relational::ColumnType::kString
                             : input.schema().column(c).type});
   }
-  relational::Table out(schema);
+  // Emit column-wise: a selection vector gathers the non-QI columns in
+  // partition order, while each QI column is rewritten as range strings.
+  std::vector<uint32_t> sel;
+  sel.reserve(input.num_rows());
+  std::vector<relational::ColumnVector> qi_out;
+  for (size_t d = 0; d < qi_idx.size(); ++d) {
+    qi_out.emplace_back(relational::ColumnType::kString);
+    qi_out.back().Reserve(input.num_rows());
+  }
   for (const auto& part : final_parts) {
     // Ranges per QI.
     std::vector<std::string> ranges(qi_idx.size());
@@ -274,7 +308,7 @@ Result<relational::Table> Mondrian::Anonymize(const relational::Table& input) co
       double lo = 0.0, hi = 0.0;
       bool first = true;
       for (size_t r : part.rows) {
-        const double x = input.row(r)[qi_idx[d]].AsDouble();
+        const double x = num_at(d, r);
         if (first) {
           lo = hi = x;
           first = false;
@@ -287,11 +321,18 @@ Result<relational::Table> Mondrian::Anonymize(const relational::Table& input) co
                            : strings::Format("%g..%g", lo, hi);
     }
     for (size_t r : part.rows) {
-      relational::Row row = input.row(r);
-      for (size_t d = 0; d < qi_idx.size(); ++d) {
-        row[qi_idx[d]] = relational::Value::Str(ranges[d]);
-      }
-      out.AppendRowUnchecked(std::move(row));
+      sel.push_back(static_cast<uint32_t>(r));
+      for (size_t d = 0; d < qi_idx.size(); ++d) qi_out[d].AppendStr(ranges[d]);
+    }
+  }
+  relational::Table out;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const auto it = std::find(qi_idx.begin(), qi_idx.end(), c);
+    if (it != qi_idx.end()) {
+      const size_t d = static_cast<size_t>(it - qi_idx.begin());
+      out.AddColumn(schema.column(c), std::move(qi_out[d]));
+    } else {
+      out.AddColumn(schema.column(c), input.col(c).Gather(sel.data(), sel.size()));
     }
   }
   return out;

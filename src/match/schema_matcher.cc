@@ -31,7 +31,7 @@ Result<ColumnSketch> ColumnSketch::Build(const ColumnRef& ref,
   double num_sum = 0.0, num_sum_sq = 0.0;
   size_t num_count = 0, non_null = 0;
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    const relational::Value& v = table.row(r)[col];
+    const relational::Value v = table.Cell(r, col);
     if (v.is_null()) continue;
     ++non_null;
     const std::string s = v.ToDisplayString();

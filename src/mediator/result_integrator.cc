@@ -65,43 +65,56 @@ Result<relational::Table> ResultIntegrator::Integrate(
       if (!has_column(col.name)) columns.push_back(col);
     }
   }
-  relational::Schema schema(columns);
-  schema.AddColumn({"_source", relational::ColumnType::kString});
-  relational::Table combined(schema);
-  for (const auto& r : results) {
-    // Per-source column index map (or -1 ⇒ NULL pad).
-    std::vector<long> src_idx(columns.size(), -1);
-    for (size_t c = 0; c < columns.size(); ++c) {
-      auto idx = r.table.schema().IndexOf(columns[c].name);
-      if (idx.ok()) src_idx[c] = static_cast<long>(*idx);
-    }
-    for (const auto& row : r.table.rows()) {
-      relational::Row out_row;
-      out_row.reserve(columns.size() + 1);
-      for (size_t c = 0; c < columns.size(); ++c) {
-        out_row.push_back(src_idx[c] < 0 ? relational::Value::Null()
-                                         : row[static_cast<size_t>(src_idx[c])]);
+  // Column-wise assembly: each mediated column is stitched from the sources'
+  // columns — whole-column appends when the type matches, per-cell coercion
+  // (AppendValue rules) when a later source disagrees on the type, and NULL
+  // runs when a source lacks the column entirely.
+  size_t total_rows = 0;
+  for (const auto& r : results) total_rows += r.table.num_rows();
+  relational::Table combined;
+  for (const auto& column : columns) {
+    relational::ColumnVector data(column.type);
+    data.Reserve(total_rows);
+    for (const auto& r : results) {
+      const size_t n = r.table.num_rows();
+      auto idx = r.table.schema().IndexOf(column.name);
+      if (!idx.ok()) {
+        for (size_t i = 0; i < n; ++i) data.AppendNull();
+      } else if (r.table.schema().column(*idx).type == column.type) {
+        data.AppendColumn(r.table.col(*idx));
+      } else {
+        const relational::ColumnVector& src = r.table.col(*idx);
+        for (size_t i = 0; i < n; ++i) data.AppendValue(src.ValueAt(i));
       }
-      out_row.push_back(relational::Value::Str(r.owner));
-      combined.AppendRowUnchecked(std::move(out_row));
     }
+    combined.AddColumn(column, std::move(data));
+  }
+  {
+    relational::ColumnVector src_col(relational::ColumnType::kString);
+    src_col.Reserve(total_rows);
+    for (const auto& r : results) {
+      for (size_t i = 0; i < r.table.num_rows(); ++i) src_col.AppendStr(r.owner);
+    }
+    combined.AddColumn({"_source", relational::ColumnType::kString},
+                       std::move(src_col));
   }
   if (!dedup_keys.empty()) {
     return linkage::DeduplicateByKey(combined, dedup_keys);
   }
   // Whole-row distinct ignoring provenance.
-  relational::Table out(combined.schema());
   std::set<std::string> seen;
   const size_t payload_cols = columns.size();
-  for (const auto& row : combined.rows()) {
+  std::vector<uint32_t> sel;
+  sel.reserve(combined.num_rows());
+  for (size_t r = 0; r < combined.num_rows(); ++r) {
     std::string key;
     for (size_t c = 0; c < payload_cols; ++c) {
-      key += row[c].ToDisplayString();
+      key += combined.col(c).ValueAt(r).ToDisplayString();
       key += '\x1f';
     }
-    if (seen.insert(key).second) out.AppendRowUnchecked(row);
+    if (seen.insert(std::move(key)).second) sel.push_back(static_cast<uint32_t>(r));
   }
-  return out;
+  return combined.Gather(sel);
 }
 
 }  // namespace mediator

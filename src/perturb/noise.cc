@@ -29,25 +29,32 @@ std::vector<double> AdditiveNoise::Perturb(const std::vector<double>& xs,
 Status AdditiveNoise::PerturbColumn(relational::Table* table,
                                     const std::string& column, Rng* rng) const {
   PIYE_ASSIGN_OR_RETURN(size_t col, table->schema().IndexOf(column));
-  if (table->schema().column(col).type != relational::ColumnType::kDouble &&
-      table->schema().column(col).type != relational::ColumnType::kInt64) {
+  const relational::ColumnType type = table->schema().column(col).type;
+  if (type != relational::ColumnType::kDouble &&
+      type != relational::ColumnType::kInt64) {
     return Status::InvalidArgument("column '" + column + "' is not numeric");
   }
-  for (relational::Row& row : table->mutable_rows()) {
-    if (row[col].is_null()) continue;
-    double x = row[col].AsDouble();
-    switch (dist_) {
-      case Distribution::kGaussian:
-        x += rng->NextGaussian(0.0, scale_);
-        break;
-      case Distribution::kUniform:
-        x += rng->NextUniform(-scale_, scale_);
-        break;
+  // Tight loop over the contiguous typed buffer; one RNG draw per non-NULL
+  // row, in row order (the draw sequence is part of the kernel's contract —
+  // the row-engine reference replays it with a shared seed).
+  const bool gaussian = dist_ == Distribution::kGaussian;
+  relational::ColumnVector* mc = table->MutableColumn(col);
+  const size_t n = table->num_rows();
+  if (type == relational::ColumnType::kInt64) {
+    int64_t* vals = mc->mutable_ints();
+    for (size_t i = 0; i < n; ++i) {
+      if (mc->IsNull(i)) continue;
+      const double r = gaussian ? rng->NextGaussian(0.0, scale_)
+                                : rng->NextUniform(-scale_, scale_);
+      vals[i] = static_cast<int64_t>(
+          std::llround(static_cast<double>(vals[i]) + r));
     }
-    if (table->schema().column(col).type == relational::ColumnType::kInt64) {
-      row[col] = relational::Value::Int(static_cast<int64_t>(std::llround(x)));
-    } else {
-      row[col] = relational::Value::Real(x);
+  } else {
+    double* vals = mc->mutable_reals();
+    for (size_t i = 0; i < n; ++i) {
+      if (mc->IsNull(i)) continue;
+      vals[i] += gaussian ? rng->NextGaussian(0.0, scale_)
+                          : rng->NextUniform(-scale_, scale_);
     }
   }
   return Status::OK();

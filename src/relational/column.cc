@@ -1,0 +1,293 @@
+#include "relational/column.h"
+
+#include <cstring>
+
+namespace piye {
+namespace relational {
+
+namespace {
+
+// Popcount per validity word; __builtin_popcountll is available on both
+// toolchains this repo builds with.
+inline int PopCount64(uint64_t w) { return __builtin_popcountll(w); }
+
+}  // namespace
+
+size_t ColumnVector::CountValid() const {
+  size_t n = 0;
+  for (uint64_t w : validity_) n += static_cast<size_t>(PopCount64(w));
+  return n;
+}
+
+void ColumnVector::Reserve(size_t n) {
+  validity_.reserve((n + 63) / 64);
+  switch (type_) {
+    case ColumnType::kInt64:
+      ints_.reserve(n);
+      break;
+    case ColumnType::kDouble:
+      reals_.reserve(n);
+      break;
+    case ColumnType::kBool:
+      bools_.reserve(n);
+      break;
+    case ColumnType::kString:
+      str_offset_.reserve(n);
+      str_len_.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::AppendValiditySlot(bool present) {
+  const size_t word = size_ >> 6;
+  if (word >= validity_.size()) validity_.push_back(0);
+  if (present) validity_[word] |= uint64_t{1} << (size_ & 63);
+  ++size_;
+}
+
+void ColumnVector::AppendNull() {
+  switch (type_) {
+    case ColumnType::kInt64:
+      ints_.push_back(0);
+      break;
+    case ColumnType::kDouble:
+      reals_.push_back(0.0);
+      break;
+    case ColumnType::kBool:
+      bools_.push_back(0);
+      break;
+    case ColumnType::kString:
+      str_offset_.push_back(0);
+      str_len_.push_back(0);
+      break;
+  }
+  AppendValiditySlot(false);
+}
+
+void ColumnVector::AppendInt(int64_t v) {
+  ints_.push_back(v);
+  AppendValiditySlot(true);
+}
+
+void ColumnVector::AppendReal(double v) {
+  reals_.push_back(v);
+  AppendValiditySlot(true);
+}
+
+void ColumnVector::AppendBool(bool v) {
+  bools_.push_back(v ? 1 : 0);
+  AppendValiditySlot(true);
+}
+
+void ColumnVector::AppendStr(std::string_view v) {
+  str_offset_.push_back(static_cast<uint32_t>(arena_.size()));
+  str_len_.push_back(static_cast<uint32_t>(v.size()));
+  arena_.append(v.data(), v.size());
+  AppendValiditySlot(true);
+}
+
+void ColumnVector::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case ColumnType::kInt64:
+      if (v.is_int()) {
+        AppendInt(v.AsInt());
+        return;
+      }
+      break;
+    case ColumnType::kDouble:
+      if (v.is_numeric()) {
+        AppendReal(v.AsDouble());
+        return;
+      }
+      break;
+    case ColumnType::kBool:
+      if (v.is_bool()) {
+        AppendBool(v.AsBool());
+        return;
+      }
+      break;
+    case ColumnType::kString:
+      if (v.is_string()) {
+        AppendStr(v.AsString());
+        return;
+      }
+      break;
+  }
+  AppendNull();
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& src, size_t i) {
+  if (src.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case ColumnType::kInt64:
+      AppendInt(src.ints_[i]);
+      break;
+    case ColumnType::kDouble:
+      AppendReal(src.reals_[i]);
+      break;
+    case ColumnType::kBool:
+      AppendBool(src.bools_[i] != 0);
+      break;
+    case ColumnType::kString:
+      AppendStr(src.StrAt(i));
+      break;
+  }
+}
+
+Value ColumnVector::ValueAt(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case ColumnType::kInt64:
+      return Value::Int(ints_[i]);
+    case ColumnType::kDouble:
+      return Value::Real(reals_[i]);
+    case ColumnType::kBool:
+      return Value::Boolean(bools_[i] != 0);
+    case ColumnType::kString:
+      return Value::Str(std::string(StrAt(i)));
+  }
+  return Value::Null();
+}
+
+void ColumnVector::Set(size_t i, const Value& v) {
+  if (v.is_null()) {
+    SetNull(i);
+    return;
+  }
+  switch (type_) {
+    case ColumnType::kInt64:
+      if (!v.is_int()) {
+        SetNull(i);
+        return;
+      }
+      ints_[i] = v.AsInt();
+      break;
+    case ColumnType::kDouble:
+      if (!v.is_numeric()) {
+        SetNull(i);
+        return;
+      }
+      reals_[i] = v.AsDouble();
+      break;
+    case ColumnType::kBool:
+      if (!v.is_bool()) {
+        SetNull(i);
+        return;
+      }
+      bools_[i] = v.AsBool() ? 1 : 0;
+      break;
+    case ColumnType::kString: {
+      if (!v.is_string()) {
+        SetNull(i);
+        return;
+      }
+      const std::string& s = v.AsString();
+      if (s.size() <= str_len_[i]) {
+        // Reuse the existing slot when the new payload fits.
+        std::memcpy(arena_.data() + str_offset_[i], s.data(), s.size());
+        str_len_[i] = static_cast<uint32_t>(s.size());
+      } else {
+        str_offset_[i] = static_cast<uint32_t>(arena_.size());
+        str_len_[i] = static_cast<uint32_t>(s.size());
+        arena_.append(s);
+      }
+      break;
+    }
+  }
+  validity_[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+void ColumnVector::SetNull(size_t i) {
+  validity_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  switch (type_) {
+    case ColumnType::kInt64:
+      ints_[i] = 0;
+      break;
+    case ColumnType::kDouble:
+      reals_[i] = 0.0;
+      break;
+    case ColumnType::kBool:
+      bools_[i] = 0;
+      break;
+    case ColumnType::kString:
+      str_offset_[i] = 0;
+      str_len_[i] = 0;
+      break;
+  }
+}
+
+ColumnVector ColumnVector::Gather(const uint32_t* sel, size_t n) const {
+  ColumnVector out(type_);
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.AppendFrom(*this, sel[i]);
+  }
+  return out;
+}
+
+void ColumnVector::AppendColumn(const ColumnVector& other) {
+  Reserve(size_ + other.size_);
+  for (size_t i = 0; i < other.size_; ++i) {
+    AppendFrom(other, i);
+  }
+}
+
+void ColumnVector::EncodeCell(size_t i, std::string* out) const {
+  // Tag bytes mirror Value::Compare's type ranks: NULL < BOOL < numeric <
+  // STRING. Both numeric types share one tag so an INT64 key and a DOUBLE
+  // key with the same AsDouble() collide, exactly like Compare orders them
+  // equal.
+  if (IsNull(i)) {
+    out->push_back('\x00');
+    return;
+  }
+  switch (type_) {
+    case ColumnType::kBool:
+      out->push_back('\x01');
+      out->push_back(bools_[i] ? '\x01' : '\x00');
+      return;
+    case ColumnType::kInt64:
+    case ColumnType::kDouble: {
+      out->push_back('\x02');
+      double d = type_ == ColumnType::kInt64 ? static_cast<double>(ints_[i])
+                                             : reals_[i];
+      if (d == 0.0) d = 0.0;  // canonicalize -0.0 (Compare treats them equal)
+      char buf[sizeof(double)];
+      std::memcpy(buf, &d, sizeof(double));
+      out->append(buf, sizeof(double));
+      return;
+    }
+    case ColumnType::kString: {
+      out->push_back('\x03');
+      const std::string_view s = StrAt(i);
+      const uint32_t len = static_cast<uint32_t>(s.size());
+      char buf[sizeof(uint32_t)];
+      std::memcpy(buf, &len, sizeof(uint32_t));
+      out->append(buf, sizeof(uint32_t));
+      out->append(s.data(), s.size());
+      return;
+    }
+  }
+}
+
+size_t ColumnVector::ApproxBytes() const {
+  size_t bytes = sizeof(ColumnVector);
+  bytes += validity_.capacity() * sizeof(uint64_t);
+  bytes += ints_.capacity() * sizeof(int64_t);
+  bytes += reals_.capacity() * sizeof(double);
+  bytes += bools_.capacity() * sizeof(uint8_t);
+  bytes += str_offset_.capacity() * sizeof(uint32_t);
+  bytes += str_len_.capacity() * sizeof(uint32_t);
+  bytes += arena_.capacity();
+  return bytes;
+}
+
+}  // namespace relational
+}  // namespace piye

@@ -1,11 +1,14 @@
 #include "relational/executor.h"
 
 #include <algorithm>
-#include <cmath>
-#include <set>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/macros.h"
-#include "common/stats.h"
+#include "relational/agg.h"
+#include "relational/column.h"
 
 namespace piye {
 namespace relational {
@@ -45,98 +48,437 @@ std::vector<std::string> Catalog::TableNames() const {
   return out;
 }
 
-Result<Table> Executor::Filter(const Table& input, const ExprPtr& predicate) {
-  if (predicate == nullptr) {
-    Table out(input.schema());
-    for (const Row& r : input.rows()) out.AppendRowUnchecked(r);
-    return out;
-  }
-  Table out(input.schema());
-  for (const Row& r : input.rows()) {
-    PIYE_ASSIGN_OR_RETURN(bool keep, predicate->EvaluatesTrue(r, input.schema()));
-    if (keep) out.AppendRowUnchecked(r);
-  }
-  return out;
-}
-
-Result<Table> Executor::Project(const Table& input,
-                                const std::vector<std::string>& columns) {
-  PIYE_ASSIGN_OR_RETURN(Schema schema, input.schema().Project(columns));
-  std::vector<size_t> idx;
-  for (const auto& c : columns) {
-    PIYE_ASSIGN_OR_RETURN(size_t i, input.schema().IndexOf(c));
-    idx.push_back(i);
-  }
-  Table out(std::move(schema));
-  for (const Row& r : input.rows()) {
-    Row row;
-    row.reserve(idx.size());
-    for (size_t i : idx) row.push_back(r[i]);
-    out.AppendRowUnchecked(std::move(row));
-  }
-  return out;
-}
-
 namespace {
 
-/// Accumulator for one aggregate over one group.
-struct AggState {
-  size_t count = 0;
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  Value min;
-  Value max;
+/// Rows per execution batch: predicate masks and row-fallback buffers work
+/// over windows of this many rows so scratch state stays cache-resident.
+constexpr size_t kBatchSize = 1024;
 
-  void Add(const Value& v) {
-    if (v.is_null()) return;
-    ++count;
-    if (v.is_numeric()) {
-      const double x = v.AsDouble();
-      sum += x;
-      sum_sq += x * x;
-    }
-    if (min.is_null() || v.Compare(min) < 0) min = v;
-    if (max.is_null() || v.Compare(max) > 0) max = v;
+/// 0/1 bytes, one per row of the current batch.
+using Mask = std::vector<uint8_t>;
+
+// --- Compare-compatible cell helpers -------------------------------------
+// All ordering below must agree exactly with Value::Compare: NULL ranks
+// first, then BOOL < numeric < STRING; numerics compare as doubles (so two
+// INT64s above 2^53 can tie), strings lexicographically. The differential
+// harness checks the vectorized engine against the row engine, which uses
+// Value::Compare directly.
+
+int RankOfType(ColumnType t) {
+  switch (t) {
+    case ColumnType::kBool:
+      return 1;
+    case ColumnType::kInt64:
+    case ColumnType::kDouble:
+      return 2;
+    case ColumnType::kString:
+      return 3;
   }
+  return 3;
+}
 
-  Value Finish(AggFunc func) const {
-    switch (func) {
-      case AggFunc::kCount:
-        return Value::Int(static_cast<int64_t>(count));
-      case AggFunc::kSum:
-        return count == 0 ? Value::Null() : Value::Real(sum);
-      case AggFunc::kAvg:
-        return count == 0 ? Value::Null()
-                          : Value::Real(sum / static_cast<double>(count));
-      case AggFunc::kMin:
-        return min;
-      case AggFunc::kMax:
-        return max;
-      case AggFunc::kStdDev: {
-        if (count == 0) return Value::Null();
-        const double n = static_cast<double>(count);
-        const double mean = sum / n;
-        const double var = std::max(0.0, sum_sq / n - mean * mean);
-        return Value::Real(std::sqrt(var));
-      }
+int RankOfValue(const Value& v) {
+  if (v.is_bool()) return 1;
+  if (v.is_numeric()) return 2;
+  return 3;
+}
+
+double NumAt(const ColumnVector& c, size_t i) {
+  return c.type() == ColumnType::kInt64 ? static_cast<double>(c.IntAt(i))
+                                        : c.RealAt(i);
+}
+
+int ThreeWay(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+/// Compares two non-NULL cells of the same column.
+int CellCompare(const ColumnVector& c, size_t i, size_t j) {
+  switch (c.type()) {
+    case ColumnType::kInt64:
+    case ColumnType::kDouble:
+      return ThreeWay(NumAt(c, i), NumAt(c, j));
+    case ColumnType::kBool:
+      return static_cast<int>(c.BoolAt(i)) - static_cast<int>(c.BoolAt(j));
+    case ColumnType::kString: {
+      const int r = c.StrAt(i).compare(c.StrAt(j));
+      return r < 0 ? -1 : (r > 0 ? 1 : 0);
     }
-    return Value::Null();
   }
-};
+  return 0;
+}
 
-ColumnType AggResultType(AggFunc func, ColumnType input_type) {
-  switch (func) {
-    case AggFunc::kCount:
-      return ColumnType::kInt64;
-    case AggFunc::kMin:
-    case AggFunc::kMax:
-      return input_type;
+/// Compares non-NULL cell (a, i) against non-NULL cell (b, j) across
+/// columns, following Value::Compare's cross-type rules.
+int CellCompareCols(const ColumnVector& a, size_t i, const ColumnVector& b,
+                    size_t j) {
+  const int ra = RankOfType(a.type()), rb = RankOfType(b.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 1:
+      return static_cast<int>(a.BoolAt(i)) - static_cast<int>(b.BoolAt(j));
+    case 2:
+      return ThreeWay(NumAt(a, i), NumAt(b, j));
+    default: {
+      const int r = a.StrAt(i).compare(b.StrAt(j));
+      return r < 0 ? -1 : (r > 0 ? 1 : 0);
+    }
+  }
+}
+
+bool ApplyCmp(Expression::Op op, int c) {
+  switch (op) {
+    case Expression::Op::kEq:
+      return c == 0;
+    case Expression::Op::kNe:
+      return c != 0;
+    case Expression::Op::kLt:
+      return c < 0;
+    case Expression::Op::kLe:
+      return c <= 0;
+    case Expression::Op::kGt:
+      return c > 0;
+    case Expression::Op::kGe:
+      return c >= 0;
     default:
-      return ColumnType::kDouble;
+      return false;
+  }
+}
+
+void FillRow(const Table& t, size_t r, Row* row) {
+  row->clear();
+  for (size_t c = 0; c < t.num_columns(); ++c) row->push_back(t.Cell(r, c));
+}
+
+/// Row-at-a-time escape hatch for expression shapes without a vectorized
+/// kernel (arithmetic subtrees, LIKE with computed patterns, ...). Evaluates
+/// only the active rows, in row order, so error precedence matches the row
+/// engine.
+Status FallbackTruth(const Table& t, const Expression& e, size_t b0, size_t b1,
+                     const Mask& active, Mask* out) {
+  Row row;
+  for (size_t r = b0; r < b1; ++r) {
+    if (!active[r - b0]) {
+      (*out)[r - b0] = 0;
+      continue;
+    }
+    FillRow(t, r, &row);
+    PIYE_ASSIGN_OR_RETURN(bool keep, e.EvaluatesTrue(row, t.schema()));
+    (*out)[r - b0] = keep ? 1 : 0;
+  }
+  return Status::OK();
+}
+
+/// Comparison of a column against a non-NULL literal over one batch.
+void CompareColLit(const ColumnVector& col, bool flipped, const Value& lit,
+                   Expression::Op op, size_t b0, size_t b1, const Mask& active,
+                   Mask* out) {
+  const int rank_col = RankOfType(col.type());
+  const int rank_lit = RankOfValue(lit);
+  if (rank_col != rank_lit) {
+    // Cross-rank comparisons are constant for every non-NULL cell.
+    int c = rank_col < rank_lit ? -1 : 1;
+    if (flipped) c = -c;
+    const bool keep = ApplyCmp(op, c);
+    for (size_t r = b0; r < b1; ++r) {
+      (*out)[r - b0] = (active[r - b0] && !col.IsNull(r) && keep) ? 1 : 0;
+    }
+    return;
+  }
+  switch (col.type()) {
+    case ColumnType::kInt64: {
+      const double b = lit.AsDouble();
+      const int64_t* vals = col.ints();
+      for (size_t r = b0; r < b1; ++r) {
+        if (!active[r - b0] || col.IsNull(r)) {
+          (*out)[r - b0] = 0;
+          continue;
+        }
+        int c = ThreeWay(static_cast<double>(vals[r]), b);
+        if (flipped) c = -c;
+        (*out)[r - b0] = ApplyCmp(op, c) ? 1 : 0;
+      }
+      return;
+    }
+    case ColumnType::kDouble: {
+      const double b = lit.AsDouble();
+      const double* vals = col.reals();
+      for (size_t r = b0; r < b1; ++r) {
+        if (!active[r - b0] || col.IsNull(r)) {
+          (*out)[r - b0] = 0;
+          continue;
+        }
+        int c = ThreeWay(vals[r], b);
+        if (flipped) c = -c;
+        (*out)[r - b0] = ApplyCmp(op, c) ? 1 : 0;
+      }
+      return;
+    }
+    case ColumnType::kBool: {
+      const int b = lit.AsBool() ? 1 : 0;
+      for (size_t r = b0; r < b1; ++r) {
+        if (!active[r - b0] || col.IsNull(r)) {
+          (*out)[r - b0] = 0;
+          continue;
+        }
+        int c = static_cast<int>(col.BoolAt(r)) - b;
+        if (flipped) c = -c;
+        (*out)[r - b0] = ApplyCmp(op, c) ? 1 : 0;
+      }
+      return;
+    }
+    case ColumnType::kString: {
+      const std::string_view b = lit.AsString();
+      for (size_t r = b0; r < b1; ++r) {
+        if (!active[r - b0] || col.IsNull(r)) {
+          (*out)[r - b0] = 0;
+          continue;
+        }
+        const int raw = col.StrAt(r).compare(b);
+        int c = raw < 0 ? -1 : (raw > 0 ? 1 : 0);
+        if (flipped) c = -c;
+        (*out)[r - b0] = ApplyCmp(op, c) ? 1 : 0;
+      }
+      return;
+    }
+  }
+}
+
+/// Evaluates `e` as a boolean mask over rows [b0, b1); out[i] corresponds to
+/// row b0+i and is 0 wherever `active` is 0. AND/OR/NOT recurse with
+/// narrowed active masks, preserving the row engine's short-circuit
+/// semantics (a subexpression is only evaluated — and can only raise an
+/// error — where its parent still needs it).
+Status EvalTruth(const Table& t, const Expression& e, size_t b0, size_t b1,
+                 const Mask& active, Mask* out) {
+  const size_t width = b1 - b0;
+  switch (e.op()) {
+    case Expression::Op::kLiteral: {
+      const Value& v = e.literal();
+      bool truthy = false;
+      if (v.is_bool()) {
+        truthy = v.AsBool();
+      } else if (v.is_numeric()) {
+        truthy = v.AsDouble() != 0.0;
+      } else if (v.is_string()) {
+        truthy = !v.AsString().empty();
+      }
+      for (size_t i = 0; i < width; ++i) (*out)[i] = (active[i] && truthy) ? 1 : 0;
+      return Status::OK();
+    }
+    case Expression::Op::kColumn: {
+      PIYE_ASSIGN_OR_RETURN(size_t idx, t.schema().IndexOf(e.column()));
+      const ColumnVector& col = t.col(idx);
+      for (size_t r = b0; r < b1; ++r) {
+        bool truthy = false;
+        if (active[r - b0] && !col.IsNull(r)) {
+          switch (col.type()) {
+            case ColumnType::kInt64:
+              truthy = col.IntAt(r) != 0;
+              break;
+            case ColumnType::kDouble:
+              truthy = col.RealAt(r) != 0.0;
+              break;
+            case ColumnType::kBool:
+              truthy = col.BoolAt(r);
+              break;
+            case ColumnType::kString:
+              truthy = !col.StrAt(r).empty();
+              break;
+          }
+        }
+        (*out)[r - b0] = truthy ? 1 : 0;
+      }
+      return Status::OK();
+    }
+    case Expression::Op::kAnd: {
+      Mask a(width, 0);
+      PIYE_RETURN_NOT_OK(EvalTruth(t, *e.lhs(), b0, b1, active, &a));
+      // rhs only where lhs held.
+      return EvalTruth(t, *e.rhs(), b0, b1, a, out);
+    }
+    case Expression::Op::kOr: {
+      Mask a(width, 0);
+      PIYE_RETURN_NOT_OK(EvalTruth(t, *e.lhs(), b0, b1, active, &a));
+      Mask rest(width, 0);
+      for (size_t i = 0; i < width; ++i) rest[i] = (active[i] && !a[i]) ? 1 : 0;
+      Mask b(width, 0);
+      PIYE_RETURN_NOT_OK(EvalTruth(t, *e.rhs(), b0, b1, rest, &b));
+      for (size_t i = 0; i < width; ++i) (*out)[i] = (a[i] || b[i]) ? 1 : 0;
+      return Status::OK();
+    }
+    case Expression::Op::kNot: {
+      Mask a(width, 0);
+      PIYE_RETURN_NOT_OK(EvalTruth(t, *e.lhs(), b0, b1, active, &a));
+      for (size_t i = 0; i < width; ++i) (*out)[i] = (active[i] && !a[i]) ? 1 : 0;
+      return Status::OK();
+    }
+    case Expression::Op::kEq:
+    case Expression::Op::kNe:
+    case Expression::Op::kLt:
+    case Expression::Op::kLe:
+    case Expression::Op::kGt:
+    case Expression::Op::kGe: {
+      const Expression& l = *e.lhs();
+      const Expression& r = *e.rhs();
+      if (l.op() == Expression::Op::kColumn && r.op() == Expression::Op::kLiteral) {
+        if (r.literal().is_null()) {
+          std::fill(out->begin(), out->begin() + width, 0);
+          return Status::OK();
+        }
+        PIYE_ASSIGN_OR_RETURN(size_t idx, t.schema().IndexOf(l.column()));
+        CompareColLit(t.col(idx), /*flipped=*/false, r.literal(), e.op(), b0, b1,
+                      active, out);
+        return Status::OK();
+      }
+      if (l.op() == Expression::Op::kLiteral && r.op() == Expression::Op::kColumn) {
+        if (l.literal().is_null()) {
+          std::fill(out->begin(), out->begin() + width, 0);
+          return Status::OK();
+        }
+        PIYE_ASSIGN_OR_RETURN(size_t idx, t.schema().IndexOf(r.column()));
+        CompareColLit(t.col(idx), /*flipped=*/true, l.literal(), e.op(), b0, b1,
+                      active, out);
+        return Status::OK();
+      }
+      if (l.op() == Expression::Op::kColumn && r.op() == Expression::Op::kColumn) {
+        PIYE_ASSIGN_OR_RETURN(size_t li, t.schema().IndexOf(l.column()));
+        PIYE_ASSIGN_OR_RETURN(size_t ri, t.schema().IndexOf(r.column()));
+        const ColumnVector& a = t.col(li);
+        const ColumnVector& b = t.col(ri);
+        for (size_t row = b0; row < b1; ++row) {
+          const size_t i = row - b0;
+          if (!active[i] || a.IsNull(row) || b.IsNull(row)) {
+            (*out)[i] = 0;
+            continue;
+          }
+          (*out)[i] = ApplyCmp(e.op(), CellCompareCols(a, row, b, row)) ? 1 : 0;
+        }
+        return Status::OK();
+      }
+      return FallbackTruth(t, e, b0, b1, active, out);
+    }
+    case Expression::Op::kIn: {
+      const Expression& l = *e.lhs();
+      if (l.op() != Expression::Op::kColumn) {
+        return FallbackTruth(t, e, b0, b1, active, out);
+      }
+      PIYE_ASSIGN_OR_RETURN(size_t idx, t.schema().IndexOf(l.column()));
+      const ColumnVector& col = t.col(idx);
+      // Only IN-list values of the column's type rank can ever SqlEqual a
+      // cell; collect them once, typed.
+      const int rank = RankOfType(col.type());
+      std::vector<double> nums;
+      std::vector<std::string_view> strs;
+      std::vector<bool> bools;
+      for (const Value& v : e.in_values()) {
+        if (v.is_null() || RankOfValue(v) != rank) continue;
+        if (rank == 2) {
+          nums.push_back(v.AsDouble());
+        } else if (rank == 3) {
+          strs.push_back(v.AsString());
+        } else {
+          bools.push_back(v.AsBool());
+        }
+      }
+      for (size_t r = b0; r < b1; ++r) {
+        const size_t i = r - b0;
+        if (!active[i] || col.IsNull(r)) {
+          (*out)[i] = 0;
+          continue;
+        }
+        bool hit = false;
+        if (rank == 2) {
+          const double x = NumAt(col, r);
+          for (double v : nums) {
+            if (x == v) {
+              hit = true;
+              break;
+            }
+          }
+        } else if (rank == 3) {
+          const std::string_view x = col.StrAt(r);
+          for (std::string_view v : strs) {
+            if (x == v) {
+              hit = true;
+              break;
+            }
+          }
+        } else {
+          const bool x = col.BoolAt(r);
+          for (bool v : bools) {
+            if (x == v) {
+              hit = true;
+              break;
+            }
+          }
+        }
+        (*out)[i] = hit ? 1 : 0;
+      }
+      return Status::OK();
+    }
+    case Expression::Op::kLike: {
+      const Expression& l = *e.lhs();
+      const Expression& r = *e.rhs();
+      if (l.op() != Expression::Op::kColumn || r.op() != Expression::Op::kLiteral) {
+        return FallbackTruth(t, e, b0, b1, active, out);
+      }
+      if (r.literal().is_null()) {
+        std::fill(out->begin(), out->begin() + width, 0);
+        return Status::OK();
+      }
+      PIYE_ASSIGN_OR_RETURN(size_t idx, t.schema().IndexOf(l.column()));
+      const ColumnVector& col = t.col(idx);
+      for (size_t row = b0; row < b1; ++row) {
+        const size_t i = row - b0;
+        if (!active[i] || col.IsNull(row)) {
+          (*out)[i] = 0;
+          continue;
+        }
+        if (col.type() != ColumnType::kString || !r.literal().is_string()) {
+          return Status::InvalidArgument("LIKE requires string operands");
+        }
+        (*out)[i] = SqlLikeMatch(std::string(col.StrAt(row)),
+                                 r.literal().AsString())
+                        ? 1
+                        : 0;
+      }
+      return Status::OK();
+    }
+    default:
+      // Arithmetic (and anything else) used as a predicate.
+      return FallbackTruth(t, e, b0, b1, active, out);
   }
 }
 
 }  // namespace
+
+Result<Table> Executor::Filter(const Table& input, const ExprPtr& predicate) {
+  if (predicate == nullptr) return input;
+  const size_t n = input.num_rows();
+  std::vector<uint32_t> sel;
+  Mask active(kBatchSize, 1);
+  Mask out(kBatchSize, 0);
+  for (size_t b0 = 0; b0 < n; b0 += kBatchSize) {
+    const size_t b1 = std::min(b0 + kBatchSize, n);
+    std::fill(active.begin(), active.begin() + (b1 - b0), 1);
+    PIYE_RETURN_NOT_OK(EvalTruth(input, *predicate, b0, b1, active, &out));
+    for (size_t r = b0; r < b1; ++r) {
+      if (out[r - b0]) sel.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return input.Gather(sel);
+}
+
+Result<Table> Executor::Project(const Table& input,
+                                const std::vector<std::string>& columns) {
+  std::vector<size_t> idx;
+  idx.reserve(columns.size());
+  for (const auto& c : columns) {
+    PIYE_ASSIGN_OR_RETURN(size_t i, input.schema().IndexOf(c));
+    idx.push_back(i);
+  }
+  // Columns are shared, not copied: projection is O(#columns).
+  return input.ProjectShared(idx);
+}
 
 Result<Table> Executor::Aggregate(const Table& input,
                                   const std::vector<std::string>& group_by,
@@ -151,7 +493,7 @@ Result<Table> Executor::Aggregate(const Table& input,
     AggFunc func;
     long col = -1;  // -1 means COUNT(*)
     std::string out_name;
-    ColumnType out_type;
+    ColumnType out_type = ColumnType::kDouble;
   };
   std::vector<AggSpec> specs;
   for (const auto& item : aggregates) {
@@ -173,49 +515,176 @@ Result<Table> Executor::Aggregate(const Table& input,
     }
     specs.push_back(std::move(spec));
   }
-  // Output schema: group columns then aggregates.
-  Schema out_schema;
-  for (size_t i : group_idx) out_schema.AddColumn(input.schema().column(i));
-  for (const auto& s : specs) out_schema.AddColumn({s.out_name, s.out_type});
 
-  // Group rows. Keys are rendered values (exact semantics incl. NULL).
-  std::map<std::vector<Value>, std::vector<AggState>> groups;
-  std::vector<std::vector<Value>> group_order;
-  for (const Row& r : input.rows()) {
-    std::vector<Value> key;
-    key.reserve(group_idx.size());
-    for (size_t i : group_idx) key.push_back(r[i]);
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      it = groups.emplace(key, std::vector<AggState>(specs.size())).first;
-      group_order.push_back(key);
+  const size_t n = input.num_rows();
+
+  // Assign each row a dense group id via the canonical cell-key encoding
+  // (Compare-equality, including NULL keys). Group ids are issued in first-
+  // appearance order, which is also the output row order.
+  std::vector<uint32_t> gid(n, 0);
+  std::vector<uint32_t> group_first_row;
+  size_t num_groups = 0;
+  if (group_idx.empty()) {
+    // Global aggregation: one group, even over an empty input.
+    num_groups = 1;
+  } else if (group_idx.size() == 1 &&
+             input.col(group_idx[0]).type() == ColumnType::kInt64) {
+    // Single INT64 key: group straight off the typed buffer, no per-row
+    // key encoding. NULL keys form their own group, same as the encoder.
+    const ColumnVector& c = input.col(group_idx[0]);
+    const int64_t* vals = c.ints();
+    std::unordered_map<int64_t, uint32_t> keymap;
+    keymap.reserve(64);
+    constexpr uint32_t kUnassigned = 0xffffffffu;
+    uint32_t null_gid = kUnassigned;
+    for (size_t r = 0; r < n; ++r) {
+      if (c.IsNull(r)) {
+        if (null_gid == kUnassigned) {
+          null_gid = static_cast<uint32_t>(num_groups++);
+          group_first_row.push_back(static_cast<uint32_t>(r));
+        }
+        gid[r] = null_gid;
+        continue;
+      }
+      auto [it, inserted] =
+          keymap.try_emplace(vals[r], static_cast<uint32_t>(num_groups));
+      if (inserted) {
+        group_first_row.push_back(static_cast<uint32_t>(r));
+        ++num_groups;
+      }
+      gid[r] = it->second;
     }
-    for (size_t s = 0; s < specs.size(); ++s) {
-      if (specs[s].col < 0) {
-        ++it->second[s].count;  // COUNT(*)
-      } else {
-        it->second[s].Add(r[static_cast<size_t>(specs[s].col)]);
+  } else {
+    std::unordered_map<std::string, uint32_t> keymap;
+    keymap.reserve(n);
+    std::string key;
+    for (size_t r = 0; r < n; ++r) {
+      key.clear();
+      for (size_t i : group_idx) input.col(i).EncodeCell(r, &key);
+      // try_emplace copies the key buffer only when it actually inserts.
+      auto [it, inserted] =
+          keymap.try_emplace(key, static_cast<uint32_t>(num_groups));
+      if (inserted) {
+        group_first_row.push_back(static_cast<uint32_t>(r));
+        ++num_groups;
+      }
+      gid[r] = it->second;
+    }
+  }
+
+  // Accumulate one state vector per spec, column-at-a-time: each pass
+  // streams one contiguous typed buffer through the shared NumericAgg math
+  // (or a typed extrema scan for MIN/MAX).
+  constexpr uint32_t kNoRow = 0xffffffffu;
+  std::vector<std::vector<NumericAgg>> agg(specs.size());
+  std::vector<std::vector<uint32_t>> extreme(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    const AggSpec& spec = specs[s];
+    if (spec.func == AggFunc::kMin || spec.func == AggFunc::kMax) {
+      extreme[s].assign(num_groups, kNoRow);
+    } else {
+      agg[s].assign(num_groups, NumericAgg{});
+    }
+    if (spec.col < 0) {
+      for (size_t r = 0; r < n; ++r) ++agg[s][gid[r]].count;  // COUNT(*)
+      continue;
+    }
+    const ColumnVector& c = input.col(static_cast<size_t>(spec.col));
+    switch (spec.func) {
+      case AggFunc::kCount:
+        for (size_t r = 0; r < n; ++r) {
+          if (!c.IsNull(r)) ++agg[s][gid[r]].count;
+        }
+        break;
+      case AggFunc::kMin:
+        for (size_t r = 0; r < n; ++r) {
+          if (c.IsNull(r)) continue;
+          uint32_t& best = extreme[s][gid[r]];
+          if (best == kNoRow || CellCompare(c, r, best) < 0) {
+            best = static_cast<uint32_t>(r);
+          }
+        }
+        break;
+      case AggFunc::kMax:
+        for (size_t r = 0; r < n; ++r) {
+          if (c.IsNull(r)) continue;
+          uint32_t& best = extreme[s][gid[r]];
+          if (best == kNoRow || CellCompare(c, r, best) > 0) {
+            best = static_cast<uint32_t>(r);
+          }
+        }
+        break;
+      default:  // SUM / AVG / STDDEV
+        switch (c.type()) {
+          case ColumnType::kInt64: {
+            const int64_t* vals = c.ints();
+            for (size_t r = 0; r < n; ++r) {
+              if (!c.IsNull(r)) agg[s][gid[r]].AddInt(vals[r]);
+            }
+            break;
+          }
+          case ColumnType::kDouble: {
+            const double* vals = c.reals();
+            for (size_t r = 0; r < n; ++r) {
+              if (!c.IsNull(r)) agg[s][gid[r]].AddReal(vals[r]);
+            }
+            break;
+          }
+          default:
+            for (size_t r = 0; r < n; ++r) {
+              if (!c.IsNull(r)) agg[s][gid[r]].AddNonNumeric();
+            }
+            break;
+        }
+        break;
+    }
+  }
+
+  // An INT64 SUM column stays INT64 unless some group actually overflowed
+  // the exact accumulator, in which case the whole column widens to DOUBLE.
+  std::vector<bool> int_input(specs.size(), false);
+  for (size_t s = 0; s < specs.size(); ++s) {
+    AggSpec& spec = specs[s];
+    if (spec.col < 0) continue;
+    int_input[s] = input.schema().column(static_cast<size_t>(spec.col)).type ==
+                   ColumnType::kInt64;
+    if (spec.func == AggFunc::kSum && int_input[s]) {
+      for (const NumericAgg& a : agg[s]) {
+        if (a.count > 0 && a.ioverflow) {
+          spec.out_type = ColumnType::kDouble;
+          break;
+        }
       }
     }
   }
-  // Global aggregation over an empty input still yields one row.
-  if (group_idx.empty() && groups.empty()) {
-    groups.emplace(std::vector<Value>{}, std::vector<AggState>(specs.size()));
-    group_order.push_back({});
+
+  // Emit column-wise: group-key columns are gathers of each group's first
+  // row; aggregate columns are built value-by-value from Finish.
+  Table out;
+  for (size_t k = 0; k < group_idx.size(); ++k) {
+    const ColumnVector& src = input.col(group_idx[k]);
+    out.AddColumn(input.schema().column(group_idx[k]),
+                  src.Gather(group_first_row.data(), group_first_row.size()));
   }
-  Table out(out_schema);
-  for (const auto& key : group_order) {
-    const auto& states = groups[key];
-    Row row = key;
-    for (size_t s = 0; s < specs.size(); ++s) {
-      Value v = states[s].Finish(specs[s].func);
-      // Widen exact ints into DOUBLE aggregate columns.
-      if (specs[s].out_type == ColumnType::kDouble && v.is_int()) {
-        v = Value::Real(v.AsDouble());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    const AggSpec& spec = specs[s];
+    ColumnVector data(spec.out_type);
+    data.Reserve(num_groups);
+    if (spec.func == AggFunc::kMin || spec.func == AggFunc::kMax) {
+      const ColumnVector& src = input.col(static_cast<size_t>(spec.col));
+      for (uint32_t best : extreme[s]) {
+        if (best == kNoRow) {
+          data.AppendNull();
+        } else {
+          data.AppendFrom(src, best);
+        }
       }
-      row.push_back(std::move(v));
+    } else {
+      for (const NumericAgg& a : agg[s]) {
+        data.AppendValue(a.Finish(spec.func, int_input[s]));
+      }
     }
-    out.AppendRowUnchecked(std::move(row));
+    out.AddColumn({spec.out_name, spec.out_type}, std::move(data));
   }
   return out;
 }
@@ -227,31 +696,51 @@ Result<Table> Executor::HashJoin(const Table& left, const Table& right,
   PIYE_ASSIGN_OR_RETURN(size_t li, left.schema().IndexOf(left_key));
   PIYE_ASSIGN_OR_RETURN(size_t ri, right.schema().IndexOf(right_key));
   Schema out_schema = left.schema();
-  std::vector<std::string> right_names;
   for (const auto& col : right.schema().columns()) {
     std::string name = col.name;
     if (out_schema.Contains(name)) name = right_prefix + name;
-    right_names.push_back(name);
     out_schema.AddColumn({name, col.type});
   }
-  // Build hash table on the right input.
-  std::map<Value, std::vector<size_t>> build;
-  for (size_t i = 0; i < right.num_rows(); ++i) {
-    const Value& k = right.row(i)[ri];
-    if (k.is_null()) continue;
-    build[k].push_back(i);
-  }
-  Table out(std::move(out_schema));
-  for (const Row& lrow : left.rows()) {
-    const Value& k = lrow[li];
-    if (k.is_null()) continue;
-    auto it = build.find(k);
-    if (it == build.end()) continue;
-    for (size_t r : it->second) {
-      Row row = lrow;
-      for (const Value& v : right.row(r)) row.push_back(v);
-      out.AppendRowUnchecked(std::move(row));
+  // Build on the right input: canonical key encoding -> right row indexes.
+  const ColumnVector& rkey = right.col(ri);
+  std::unordered_map<std::string, std::vector<uint32_t>> build;
+  build.reserve(right.num_rows());
+  {
+    std::string key;
+    for (size_t i = 0; i < right.num_rows(); ++i) {
+      if (rkey.IsNull(i)) continue;
+      key.clear();
+      rkey.EncodeCell(i, &key);
+      build[key].push_back(static_cast<uint32_t>(i));
     }
+  }
+  // Probe with the left rows; the output order is left-row-major with right
+  // matches in right-row order, same as the row engine.
+  std::vector<uint32_t> lsel, rsel;
+  {
+    const ColumnVector& lkey = left.col(li);
+    std::string key;
+    for (size_t i = 0; i < left.num_rows(); ++i) {
+      if (lkey.IsNull(i)) continue;
+      key.clear();
+      lkey.EncodeCell(i, &key);
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (uint32_t r : it->second) {
+        lsel.push_back(static_cast<uint32_t>(i));
+        rsel.push_back(r);
+      }
+    }
+  }
+  // Materialize both sides with one gather per column.
+  Table out;
+  for (size_t c = 0; c < left.num_columns(); ++c) {
+    out.AddColumn(out_schema.column(c),
+                  left.col(c).Gather(lsel.data(), lsel.size()));
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    out.AddColumn(out_schema.column(left.num_columns() + c),
+                  right.col(c).Gather(rsel.data(), rsel.size()));
   }
   return out;
 }
@@ -262,19 +751,24 @@ Result<Table> Executor::Union(const Table& a, const Table& b) {
                                    a.schema().ToString() + "] vs [" +
                                    b.schema().ToString() + "]");
   }
-  Table out(a.schema());
-  for (const Row& r : a.rows()) out.AppendRowUnchecked(r);
-  for (const Row& r : b.rows()) out.AppendRowUnchecked(r);
+  Table out = a;
+  out.AppendTable(b);
   return out;
 }
 
 Table Executor::Distinct(const Table& input) {
-  Table out(input.schema());
-  std::set<std::vector<Value>> seen;
-  for (const Row& r : input.rows()) {
-    if (seen.insert(r).second) out.AppendRowUnchecked(r);
+  std::unordered_set<std::string> seen;
+  seen.reserve(input.num_rows());
+  std::vector<uint32_t> sel;
+  std::string key;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    key.clear();
+    for (size_t c = 0; c < input.num_columns(); ++c) {
+      input.col(c).EncodeCell(r, &key);
+    }
+    if (seen.insert(key).second) sel.push_back(static_cast<uint32_t>(r));
   }
-  return out;
+  return input.Gather(sel);
 }
 
 Result<Table> Executor::Sort(Table input, const std::vector<OrderKey>& keys) {
@@ -283,23 +777,30 @@ Result<Table> Executor::Sort(Table input, const std::vector<OrderKey>& keys) {
     PIYE_ASSIGN_OR_RETURN(size_t i, input.schema().IndexOf(k.column));
     idx.emplace_back(i, k.ascending);
   }
-  std::stable_sort(input.mutable_rows().begin(), input.mutable_rows().end(),
-                   [&idx](const Row& a, const Row& b) {
+  std::vector<uint32_t> sel(input.num_rows());
+  std::iota(sel.begin(), sel.end(), 0u);
+  std::stable_sort(sel.begin(), sel.end(),
+                   [&idx, &input](uint32_t a, uint32_t b) {
                      for (const auto& [i, asc] : idx) {
-                       const int c = a[i].Compare(b[i]);
-                       if (c != 0) return asc ? c < 0 : c > 0;
+                       const ColumnVector& c = input.col(i);
+                       const bool an = c.IsNull(a), bn = c.IsNull(b);
+                       int cmp;
+                       if (an || bn) {
+                         cmp = an == bn ? 0 : (an ? -1 : 1);  // NULL first
+                       } else {
+                         cmp = CellCompare(c, a, b);
+                       }
+                       if (cmp != 0) return asc ? cmp < 0 : cmp > 0;
                      }
                      return false;
                    });
-  return input;
+  return input.Gather(sel);
 }
 
 Table Executor::Limit(const Table& input, size_t n) {
-  Table out(input.schema());
-  for (size_t i = 0; i < std::min(n, input.num_rows()); ++i) {
-    out.AppendRowUnchecked(input.row(i));
-  }
-  return out;
+  std::vector<uint32_t> sel(std::min(n, input.num_rows()));
+  std::iota(sel.begin(), sel.end(), 0u);
+  return input.Gather(sel);
 }
 
 Result<Table> Executor::Execute(const SelectStatement& stmt) const {

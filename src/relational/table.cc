@@ -8,6 +8,82 @@
 namespace piye {
 namespace relational {
 
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  cols_.reserve(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    cols_.push_back(std::make_shared<ColumnVector>(schema_.column(i).type));
+  }
+}
+
+ColumnVector* Table::MutableColumn(size_t i) {
+  if (cols_[i].use_count() > 1) {
+    cols_[i] = std::make_shared<ColumnVector>(*cols_[i]);
+  }
+  return cols_[i].get();
+}
+
+void Table::AddColumn(Column meta, ColumnVector data) {
+  auto col = std::make_shared<ColumnVector>(std::move(data));
+  while (col->size() < num_rows_) col->AppendNull();
+  schema_.AddColumn(std::move(meta));
+  cols_.push_back(std::move(col));
+  if (cols_.size() == 1) num_rows_ = cols_[0]->size();
+}
+
+Table Table::ProjectShared(const std::vector<size_t>& col_indices) const {
+  Table out;
+  out.num_rows_ = num_rows_;
+  out.cols_.reserve(col_indices.size());
+  for (size_t i : col_indices) {
+    out.schema_.AddColumn(schema_.column(i));
+    out.cols_.push_back(cols_[i]);
+  }
+  return out;
+}
+
+Table Table::Gather(const uint32_t* sel, size_t n) const {
+  Table out(schema_);
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    *out.cols_[c] = cols_[c]->Gather(sel, n);
+  }
+  out.num_rows_ = n;
+  return out;
+}
+
+void Table::AppendTable(const Table& other) {
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    MutableColumn(c)->AppendColumn(other.col(c));
+  }
+  num_rows_ += other.num_rows_;
+}
+
+void Table::AppendRowFrom(const Table& other, size_t i) {
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    MutableColumn(c)->AppendFrom(other.col(c), i);
+  }
+  ++num_rows_;
+}
+
+void Table::Reserve(size_t n) {
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    MutableColumn(c)->Reserve(n);
+  }
+}
+
+Row Table::row(size_t i) const {
+  Row out;
+  out.reserve(cols_.size());
+  for (const auto& col : cols_) out.push_back(col->ValueAt(i));
+  return out;
+}
+
+std::vector<Row> Table::rows() const {
+  std::vector<Row> out;
+  out.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) out.push_back(row(r));
+  return out;
+}
+
 Status Table::AppendRow(Row row) {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(strings::Format(
@@ -21,51 +97,61 @@ Status Table::AppendRow(Row row) {
     // INT64 values are accepted into DOUBLE columns (numeric widening).
     if (*type == schema_.column(i).type) continue;
     if (*type == ColumnType::kInt64 && schema_.column(i).type == ColumnType::kDouble) {
-      row[i] = Value::Real(row[i].AsDouble());
-      continue;
+      continue;  // AppendValue widens on the way in
     }
     return Status::InvalidArgument(strings::Format(
         "column '%s' expects %s but got %s", schema_.column(i).name.c_str(),
         ColumnTypeToString(schema_.column(i).type), ColumnTypeToString(*type)));
   }
-  rows_.push_back(std::move(row));
+  AppendRowUnchecked(row);
   return Status::OK();
 }
 
+void Table::AppendRowUnchecked(const Row& row) {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    MutableColumn(i)->AppendValue(i < row.size() ? row[i] : Value::Null());
+  }
+  ++num_rows_;
+}
+
 Result<Value> Table::At(size_t row_idx, const std::string& column) const {
-  if (row_idx >= rows_.size()) {
+  if (row_idx >= num_rows_) {
     return Status::OutOfRange(strings::Format("row %zu out of %zu", row_idx,
-                                              rows_.size()));
+                                              num_rows_));
   }
   PIYE_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
-  return rows_[row_idx][col];
+  return cols_[col]->ValueAt(row_idx);
 }
 
 Result<std::vector<Value>> Table::ColumnValues(const std::string& column) const {
   PIYE_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
   std::vector<Value> out;
-  out.reserve(rows_.size());
-  for (const Row& r : rows_) out.push_back(r[col]);
+  out.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) out.push_back(cols_[col]->ValueAt(r));
   return out;
 }
 
 Result<std::vector<double>> Table::NumericColumn(const std::string& column) const {
   PIYE_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
+  const ColumnVector& cv = *cols_[col];
+  if (cv.type() != ColumnType::kInt64 && cv.type() != ColumnType::kDouble &&
+      cv.CountValid() > 0) {
+    return Status::InvalidArgument("column '" + column + "' is not numeric");
+  }
   std::vector<double> out;
-  out.reserve(rows_.size());
-  for (const Row& r : rows_) {
-    if (r[col].is_null()) continue;
-    if (!r[col].is_numeric()) {
-      return Status::InvalidArgument("column '" + column + "' is not numeric");
-    }
-    out.push_back(r[col].AsDouble());
+  out.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (cv.IsNull(r)) continue;
+    out.push_back(cv.type() == ColumnType::kInt64
+                      ? static_cast<double>(cv.IntAt(r))
+                      : cv.RealAt(r));
   }
   return out;
 }
 
 std::string Table::ToString(size_t max_rows) const {
   // Compute column widths over header + shown rows.
-  const size_t shown = std::min(max_rows, rows_.size());
+  const size_t shown = std::min(max_rows, num_rows_);
   std::vector<size_t> widths(schema_.num_columns());
   std::vector<std::vector<std::string>> cells(shown);
   for (size_t c = 0; c < schema_.num_columns(); ++c) {
@@ -74,7 +160,7 @@ std::string Table::ToString(size_t max_rows) const {
   for (size_t r = 0; r < shown; ++r) {
     cells[r].resize(schema_.num_columns());
     for (size_t c = 0; c < schema_.num_columns(); ++c) {
-      cells[r][c] = rows_[r][c].ToDisplayString();
+      cells[r][c] = Cell(r, c).ToDisplayString();
       widths[c] = std::max(widths[c], cells[r][c].size());
     }
   }
@@ -91,8 +177,8 @@ std::string Table::ToString(size_t max_rows) const {
     for (size_t c = 0; c < schema_.num_columns(); ++c) pad(cells[r][c], widths[c]);
     out += '\n';
   }
-  if (shown < rows_.size()) {
-    out += strings::Format("... (%zu more rows)\n", rows_.size() - shown);
+  if (shown < num_rows_) {
+    out += strings::Format("... (%zu more rows)\n", num_rows_ - shown);
   }
   return out;
 }
@@ -102,9 +188,8 @@ size_t Table::ApproxBytes() const {
   for (const auto& col : schema_.columns()) {
     bytes += sizeof(Column) + col.name.capacity();
   }
-  for (const auto& row : rows_) {
-    bytes += sizeof(Row);
-    for (const auto& value : row) bytes += value.ApproxBytes();
+  for (const auto& col : cols_) {
+    bytes += sizeof(std::shared_ptr<ColumnVector>) + col->ApproxBytes();
   }
   return bytes;
 }

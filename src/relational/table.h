@@ -1,39 +1,98 @@
 #ifndef PIYE_RELATIONAL_TABLE_H_
 #define PIYE_RELATIONAL_TABLE_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "relational/column.h"
 #include "relational/schema.h"
 #include "relational/value.h"
 
 namespace piye {
 namespace relational {
 
-/// A row of values, positionally aligned with a Schema.
+/// A row of values, positionally aligned with a Schema. With columnar
+/// storage a Row is a materialized copy, not the storage unit — the shim
+/// accessors below build them on demand.
 using Row = std::vector<Value>;
 
-/// An in-memory table: a schema plus rows. This is the storage unit of the
-/// remote-source databases and of intermediate query results.
+/// An in-memory table: a schema plus column-major typed storage (one
+/// ColumnVector per column). This is the storage unit of the remote-source
+/// databases and of intermediate query results.
+///
+/// Columns are held by shared_ptr with copy-on-write: copying a Table (or
+/// projecting a subset of its columns) shares the underlying buffers;
+/// `MutableColumn` clones a column only when it is actually shared. Hot
+/// paths (the vectorized executor, the perturbation/anonymization kernels)
+/// work on ColumnVector buffers directly; `row()`/`rows()` remain as
+/// by-value shims so row-at-a-time callers keep working during migration.
 class Table {
  public:
   Table() = default;
-  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  explicit Table(Schema schema);
 
   const Schema& schema() const { return schema_; }
+  /// Rename-only access (SELECT aliases). Adding or removing columns through
+  /// this reference would desynchronize schema and storage; use AddColumn.
   Schema& mutable_schema() { return schema_; }
-  size_t num_rows() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return cols_.size(); }
+  bool empty() const { return num_rows_ == 0; }
 
-  const Row& row(size_t i) const { return rows_[i]; }
-  const std::vector<Row>& rows() const { return rows_; }
-  std::vector<Row>& mutable_rows() { return rows_; }
+  // -- columnar access (hot paths) -----------------------------------------
+  const ColumnVector& col(size_t i) const { return *cols_[i]; }
+  /// Copy-on-write: clones the column first if its buffers are shared with
+  /// another Table.
+  ColumnVector* MutableColumn(size_t i);
+  /// Materializes cell (row, col) as a Value.
+  Value Cell(size_t row_idx, size_t col_idx) const {
+    return cols_[col_idx]->ValueAt(row_idx);
+  }
+  /// Overwrites cell (row, col); NULL clears it. Copy-on-write applies.
+  void SetCell(size_t row_idx, size_t col_idx, const Value& v) {
+    MutableColumn(col_idx)->Set(row_idx, v);
+  }
+
+  /// Appends a column (NULL-padded up to num_rows(); a first column sets
+  /// the row count).
+  void AddColumn(Column meta, ColumnVector data);
+
+  /// New table exposing columns `col_indices` (in that order) by sharing
+  /// their buffers — projection without copying any cell.
+  Table ProjectShared(const std::vector<size_t>& col_indices) const;
+
+  /// New table holding rows `sel[0..n)` in that order (selection-vector
+  /// materialization; string columns are compacted in the process).
+  Table Gather(const uint32_t* sel, size_t n) const;
+  Table Gather(const std::vector<uint32_t>& sel) const {
+    return Gather(sel.data(), sel.size());
+  }
+
+  /// Appends all rows of `other`; schemas must already be compatible
+  /// (same column count and types — the callers validate names).
+  void AppendTable(const Table& other);
+  /// Appends row `i` of `other` cell-by-cell (same column count/types).
+  void AppendRowFrom(const Table& other, size_t i);
+
+  void Reserve(size_t n);
+
+  // -- row shims (cold paths, incremental migration) -----------------------
+  /// Materialized copy of row `i`. By value: with columnar storage there is
+  /// no stored Row to reference. Callers must not bind `const Value&` into
+  /// the temporary across statements.
+  Row row(size_t i) const;
+  /// Materialized copy of all rows. O(cells); cold paths only.
+  std::vector<Row> rows() const;
 
   /// Appends a row after arity and (non-NULL) type checking.
   Status AppendRow(Row row);
   /// Appends without validation (hot paths that construct rows themselves).
-  void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  /// Cells coerce per ColumnVector::AppendValue (INT64 widens into DOUBLE
+  /// columns; other mismatches store NULL).
+  void AppendRowUnchecked(const Row& row);
 
   /// Value at (row, named column).
   Result<Value> At(size_t row_idx, const std::string& column) const;
@@ -46,13 +105,16 @@ class Table {
   /// Pretty-printed table (header + rows), for examples and benchmarks.
   std::string ToString(size_t max_rows = 50) const;
 
-  /// Rough in-memory footprint of the table (schema + all rows), used by
-  /// memory-bounded caches to account for what an entry costs to keep.
+  /// In-memory footprint of the actual columnar buffers (schema + validity
+  /// bitmaps + typed payloads + string arenas), used by memory-bounded
+  /// caches to account for what an entry costs to keep. Shared (CoW) columns
+  /// are counted in full by every holder.
   size_t ApproxBytes() const;
 
  private:
   Schema schema_;
-  std::vector<Row> rows_;
+  size_t num_rows_ = 0;
+  std::vector<std::shared_ptr<ColumnVector>> cols_;
 };
 
 }  // namespace relational

@@ -18,14 +18,15 @@ std::unique_ptr<xml::XmlNode> TableToXml(const Table& table,
     c->SetAttr("type", ColumnTypeToString(col.type));
   }
   xml::XmlNode* rows = result->AddElement("rows");
-  for (const Row& r : table.rows()) {
+  for (size_t r = 0; r < table.num_rows(); ++r) {
     xml::XmlNode* row = rows->AddElement("row");
-    for (size_t i = 0; i < r.size(); ++i) {
+    for (size_t i = 0; i < table.num_columns(); ++i) {
       xml::XmlNode* cell = row->AddElement(table.schema().column(i).name);
-      if (r[i].is_null()) {
+      const ColumnVector& col = table.col(i);
+      if (col.IsNull(r)) {
         cell->SetAttr("null", "true");
       } else {
-        cell->AddText(r[i].ToDisplayString());
+        cell->AddText(col.ValueAt(r).ToDisplayString());
       }
     }
   }

@@ -83,11 +83,15 @@ Status PreservationModule::ApplyGeneralization(
     const bool coarsen = wants_coarsening && IsNumericColumn(table->schema(), c);
     generalize[c] = coarsen;
     if (coarsen) {
+      // Min/max scan over the contiguous typed buffer.
+      const relational::ColumnVector& cv = table->col(c);
+      const bool is_int = cv.type() == relational::ColumnType::kInt64;
       double mn = 0.0, mx = 0.0;
       bool first = true;
-      for (const auto& row : table->rows()) {
-        if (row[c].is_null()) continue;
-        const double x = row[c].AsDouble();
+      for (size_t r = 0; r < table->num_rows(); ++r) {
+        if (cv.IsNull(r)) continue;
+        const double x =
+            is_int ? static_cast<double>(cv.IntAt(r)) : cv.RealAt(r);
         if (first) {
           mn = mx = x;
           first = false;
@@ -104,29 +108,52 @@ Status PreservationModule::ApplyGeneralization(
       new_schema.AddColumn(col);
     }
   }
-  relational::Table out(new_schema);
-  for (const auto& row : table->rows()) {
-    relational::Row r = row;
-    for (size_t c = 0; c < r.size(); ++c) {
-      if (r[c].is_null()) continue;
-      if (string_generalize[c]) {
-        std::string s = r[c].AsString();
-        if (s.size() > config_.string_prefix) {
-          s = s.substr(0, config_.string_prefix) + "*";
+  // Rebuild column-by-column: untouched columns copy their buffers whole,
+  // coarsened ones are written as fresh STRING columns in one pass.
+  relational::Table out;
+  const size_t n = table->num_rows();
+  for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+    const relational::ColumnVector& cv = table->col(c);
+    if (string_generalize[c]) {
+      relational::ColumnVector data(relational::ColumnType::kString);
+      data.Reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        if (cv.IsNull(r)) {
+          data.AppendNull();
+          continue;
         }
-        r[c] = relational::Value::Str(std::move(s));
-        continue;
+        const std::string_view s = cv.StrAt(r);
+        if (s.size() > config_.string_prefix) {
+          std::string prefixed(s.substr(0, config_.string_prefix));
+          prefixed += '*';
+          data.AppendStr(prefixed);
+        } else {
+          data.AppendStr(s);
+        }
       }
-      if (!generalize[c]) continue;
-      const double x = r[c].AsDouble();
-      double bucket = std::floor((x - lo[c]) / width[c]);
-      bucket = std::clamp(bucket, 0.0,
-                          static_cast<double>(config_.generalization_buckets - 1));
-      const double b_lo = lo[c] + bucket * width[c];
-      r[c] = relational::Value::Str(
-          strings::Format("[%g,%g)", b_lo, b_lo + width[c]));
+      out.AddColumn(new_schema.column(c), std::move(data));
+    } else if (generalize[c]) {
+      const bool is_int = cv.type() == relational::ColumnType::kInt64;
+      relational::ColumnVector data(relational::ColumnType::kString);
+      data.Reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        if (cv.IsNull(r)) {
+          data.AppendNull();
+          continue;
+        }
+        const double x =
+            is_int ? static_cast<double>(cv.IntAt(r)) : cv.RealAt(r);
+        double bucket = std::floor((x - lo[c]) / width[c]);
+        bucket = std::clamp(
+            bucket, 0.0,
+            static_cast<double>(config_.generalization_buckets - 1));
+        const double b_lo = lo[c] + bucket * width[c];
+        data.AppendStr(strings::Format("[%g,%g)", b_lo, b_lo + width[c]));
+      }
+      out.AddColumn(new_schema.column(c), std::move(data));
+    } else {
+      out.AddColumn(new_schema.column(c), cv);
     }
-    out.AppendRowUnchecked(std::move(r));
   }
   *table = std::move(out);
   return Status::OK();
@@ -151,20 +178,22 @@ Status PreservationModule::ApplySuppression(
   std::map<std::string, size_t> counts;
   std::vector<std::string> keys;
   keys.reserve(table->num_rows());
-  for (const auto& row : table->rows()) {
+  for (size_t r = 0; r < table->num_rows(); ++r) {
     std::string key;
     for (size_t c : qi) {
-      key += row[c].ToDisplayString();
+      key += table->col(c).ValueAt(r).ToDisplayString();
       key += '\x1f';
     }
     ++counts[key];
     keys.push_back(std::move(key));
   }
-  relational::Table out(table->schema());
+  // Keep rows of sufficiently large equivalence classes via one gather.
+  std::vector<uint32_t> sel;
+  sel.reserve(table->num_rows());
   for (size_t r = 0; r < table->num_rows(); ++r) {
-    if (counts[keys[r]] >= config_.k) out.AppendRowUnchecked(table->row(r));
+    if (counts[keys[r]] >= config_.k) sel.push_back(static_cast<uint32_t>(r));
   }
-  *table = std::move(out);
+  *table = table->Gather(sel);
   return Status::OK();
 }
 
@@ -181,13 +210,22 @@ Status PreservationModule::ApplyRounding(
     auto it = forms.find(table->schema().column(c).name);
     if (it == forms.end() || it->second != DisclosureForm::kAggregate) continue;
     if (!IsNumericColumn(table->schema(), c)) continue;
-    for (auto& row : table->mutable_rows()) {
-      if (row[c].is_null()) continue;
-      const double x =
-          perturb::OutputPerturbation::Round(row[c].AsDouble(), precision);
-      row[c] = table->schema().column(c).type == relational::ColumnType::kInt64
-                   ? relational::Value::Int(static_cast<int64_t>(std::llround(x)))
-                   : relational::Value::Real(x);
+    relational::ColumnVector* mc = table->MutableColumn(c);
+    const size_t n = table->num_rows();
+    if (mc->type() == relational::ColumnType::kInt64) {
+      int64_t* vals = mc->mutable_ints();
+      for (size_t r = 0; r < n; ++r) {
+        if (mc->IsNull(r)) continue;
+        vals[r] = static_cast<int64_t>(std::llround(
+            perturb::OutputPerturbation::Round(static_cast<double>(vals[r]),
+                                               precision)));
+      }
+    } else {
+      double* vals = mc->mutable_reals();
+      for (size_t r = 0; r < n; ++r) {
+        if (mc->IsNull(r)) continue;
+        vals[r] = perturb::OutputPerturbation::Round(vals[r], precision);
+      }
     }
   }
   return Status::OK();
@@ -204,13 +242,23 @@ Status PreservationModule::ApplyNoise(
     auto it = forms.find(table->schema().column(c).name);
     if (it == forms.end() || it->second != DisclosureForm::kAggregate) continue;
     if (!IsNumericColumn(table->schema(), c)) continue;
-    for (auto& row : table->mutable_rows()) {
-      if (row[c].is_null()) continue;
-      const double x =
-          perturb::OutputPerturbation::LaplaceNoise(row[c].AsDouble(), scale, rng);
-      row[c] = table->schema().column(c).type == relational::ColumnType::kInt64
-                   ? relational::Value::Int(static_cast<int64_t>(std::llround(x)))
-                   : relational::Value::Real(x);
+    relational::ColumnVector* mc = table->MutableColumn(c);
+    const size_t n = table->num_rows();
+    if (mc->type() == relational::ColumnType::kInt64) {
+      int64_t* vals = mc->mutable_ints();
+      for (size_t r = 0; r < n; ++r) {
+        if (mc->IsNull(r)) continue;
+        vals[r] = static_cast<int64_t>(
+            std::llround(perturb::OutputPerturbation::LaplaceNoise(
+                static_cast<double>(vals[r]), scale, rng)));
+      }
+    } else {
+      double* vals = mc->mutable_reals();
+      for (size_t r = 0; r < n; ++r) {
+        if (mc->IsNull(r)) continue;
+        vals[r] =
+            perturb::OutputPerturbation::LaplaceNoise(vals[r], scale, rng);
+      }
     }
   }
   return Status::OK();

@@ -185,15 +185,18 @@ Result<RemoteSource::FragmentResult> RemoteSource::ExecuteFragment(
           ? &rewritten.stmt.items[0]
           : nullptr;
   if (preservation_.config().use_random_sample_queries && lone_aggregate != nullptr) {
-    // Key records by their stable ordinal in the effective table.
-    relational::Schema keyed_schema = base->schema();
-    keyed_schema.AddColumn({"_rowid", relational::ColumnType::kInt64});
-    relational::Table keyed(keyed_schema);
-    for (size_t r = 0; r < base->num_rows(); ++r) {
-      relational::Row row = base->row(r);
-      row.push_back(relational::Value::Int(static_cast<int64_t>(r)));
-      keyed.AppendRowUnchecked(std::move(row));
+    // Key records by their stable ordinal in the effective table. The
+    // payload columns are shared (copy-on-write), only _rowid is built.
+    relational::Table keyed;
+    for (size_t c = 0; c < base->schema().num_columns(); ++c) {
+      keyed.AddColumn(base->schema().column(c), base->col(c));
     }
+    relational::ColumnVector rowid(relational::ColumnType::kInt64);
+    rowid.Reserve(base->num_rows());
+    for (size_t r = 0; r < base->num_rows(); ++r) {
+      rowid.AppendInt(static_cast<int64_t>(r));
+    }
+    keyed.AddColumn({"_rowid", relational::ColumnType::kInt64}, std::move(rowid));
     statdb::AggregateQuery agg_query;
     agg_query.func = lone_aggregate->func;
     agg_query.column = lone_aggregate->column;

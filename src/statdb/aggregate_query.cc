@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "relational/agg.h"
 
 namespace piye {
 namespace statdb {
@@ -36,46 +37,47 @@ Result<double> EvaluateAggregate(const AggregateQuery& query,
                                  const relational::Table& data,
                                  const std::vector<size_t>& rows) {
   PIYE_ASSIGN_OR_RETURN(size_t col, data.schema().IndexOf(query.column));
-  double sum = 0.0, sum_sq = 0.0;
+  // Column-at-a-time over the typed buffer; Welford accumulation (via the
+  // shared NumericAgg) keeps STDDEV stable when mean >> stddev, where the
+  // old sum-of-squares formula cancelled catastrophically.
+  const relational::ColumnVector& cv = data.col(col);
+  const bool numeric = cv.type() == relational::ColumnType::kInt64 ||
+                       cv.type() == relational::ColumnType::kDouble;
+  const bool is_int = cv.type() == relational::ColumnType::kInt64;
+  relational::NumericAgg agg;
   double mn = 0.0, mx = 0.0;
-  size_t count = 0;
   for (size_t r : rows) {
-    const relational::Value& v = data.row(r)[col];
-    if (v.is_null()) continue;
-    if (!v.is_numeric()) {
+    if (cv.IsNull(r)) continue;
+    if (!numeric) {
       return Status::InvalidArgument("column '" + query.column + "' is not numeric");
     }
-    const double x = v.AsDouble();
-    if (count == 0) {
+    const double x = is_int ? static_cast<double>(cv.IntAt(r)) : cv.RealAt(r);
+    if (agg.count == 0) {
       mn = mx = x;
     } else {
       mn = std::min(mn, x);
       mx = std::max(mx, x);
     }
-    sum += x;
-    sum_sq += x * x;
-    ++count;
+    agg.AddReal(x);
   }
+  const size_t count = agg.count;
   switch (query.func) {
     case relational::AggFunc::kCount:
       return static_cast<double>(count);
     case relational::AggFunc::kSum:
-      return sum;
+      return agg.sum;
     case relational::AggFunc::kAvg:
       if (count == 0) return Status::InvalidArgument("AVG over empty query set");
-      return sum / static_cast<double>(count);
+      return agg.sum / static_cast<double>(count);
     case relational::AggFunc::kMin:
       if (count == 0) return Status::InvalidArgument("MIN over empty query set");
       return mn;
     case relational::AggFunc::kMax:
       if (count == 0) return Status::InvalidArgument("MAX over empty query set");
       return mx;
-    case relational::AggFunc::kStdDev: {
+    case relational::AggFunc::kStdDev:
       if (count == 0) return Status::InvalidArgument("STDDEV over empty query set");
-      const double n = static_cast<double>(count);
-      const double mean = sum / n;
-      return std::sqrt(std::max(0.0, sum_sq / n - mean * mean));
-    }
+      return std::sqrt(agg.m2 / static_cast<double>(count));
   }
   return Status::Internal("unhandled aggregate");
 }

@@ -1,0 +1,12 @@
+// Bad: a perturbation kernel mutating cells through materialized rows.
+#include "relational/table.h"
+
+namespace piye {
+
+void Kernel(relational::Table* table) {
+  for (auto& row : table->mutable_rows()) {
+    row[0] = relational::Value::Int(1);
+  }
+}
+
+}  // namespace piye

@@ -1,0 +1,15 @@
+// Good: the same kernel as a tight loop over the contiguous typed buffer.
+#include "relational/table.h"
+
+namespace piye {
+
+void Kernel(relational::Table* table) {
+  relational::ColumnVector* col = table->MutableColumn(0);
+  int64_t* vals = col->mutable_ints();
+  for (size_t i = 0; i < table->num_rows(); ++i) {
+    if (col->IsNull(i)) continue;
+    vals[i] += 1;
+  }
+}
+
+}  // namespace piye

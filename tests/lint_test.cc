@@ -51,6 +51,7 @@ const std::vector<RuleFixture>& Fixtures() {
       {"status-discard", "status-discard.cc", "src/mediator/fixture.cc"},
       {"header-hygiene", "header-hygiene.h", "src/mediator/fixture.h"},
       {"analysis-escape", "analysis-escape.cc", "src/mediator/fixture.cc"},
+      {"row-loop", "row-loop.cc", "src/perturb/fixture.cc"},
   };
   return kFixtures;
 }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 
 #include "common/rng.h"
+#include "relational/reference.h"
 #include "common/stats.h"
 #include "perturb/noise.h"
 #include "perturb/randomized_response.h"
@@ -271,6 +273,86 @@ TEST(SpectralFilterTest, RecoversCorrelatedDataBelowNoiseFloor) {
   EXPECT_NEAR(err_perturbed, sigma, 2.0);
   // The filtering attack strips most of the noise.
   EXPECT_LT(err_recovered, 0.55 * sigma);
+}
+
+// --- columnar kernels vs row-at-a-time references (NULL alignment) ---
+
+namespace {
+
+/// 2 columns, NULLs interleaved through the numeric one: the exact shape
+/// that misaligns a dense-vector write-back lacking a row<->value index map.
+Table InterleavedNullFixture(ColumnType numeric_type) {
+  Table t(Schema{Column{"v", numeric_type}, Column{"tag", ColumnType::kString}});
+  Rng rng(41);
+  for (int i = 0; i < 257; ++i) {
+    Value v;
+    if (i % 3 == 1 || i % 7 == 2) {
+      v = Value::Null();
+    } else if (numeric_type == ColumnType::kInt64) {
+      v = Value::Int(static_cast<int64_t>(rng.NextBounded(1000)) - 500);
+    } else {
+      v = Value::Real(rng.NextUniform(-100.0, 100.0));
+    }
+    (void)t.AppendRow(Row{std::move(v), Value::Str("r" + std::to_string(i))});
+  }
+  return t;
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.Cell(r, c).ToString(), b.Cell(r, c).ToString())
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(RankSwapperTest, InterleavedNullsStayAlignedAgainstRowReference) {
+  for (ColumnType type : {ColumnType::kInt64, ColumnType::kDouble}) {
+    Table columnar = InterleavedNullFixture(type);
+    Table reference = columnar;
+    const uint64_t seed = 0xDECADE;
+    Rng rng_columnar(seed), rng_reference(seed);
+    const RankSwapper swapper(10.0);
+    ASSERT_TRUE(swapper.SwapColumn(&columnar, "v", &rng_columnar).ok());
+    ASSERT_TRUE(relational::rowref::RankSwapRowAtATime(&reference, "v", 10.0,
+                                                       &rng_reference)
+                    .ok());
+    // Same seed, same draws, same placement — including every NULL slot.
+    ExpectTablesEqual(columnar, reference);
+    // And the swap is a permutation: NULL rows keep NULL, the non-NULL
+    // multiset is preserved.
+    const Table original = InterleavedNullFixture(type);
+    std::multiset<std::string> before, after;
+    for (size_t r = 0; r < original.num_rows(); ++r) {
+      ASSERT_EQ(original.Cell(r, 0).is_null(), columnar.Cell(r, 0).is_null())
+          << "row " << r;
+      if (!original.Cell(r, 0).is_null()) {
+        before.insert(original.Cell(r, 0).ToString());
+        after.insert(columnar.Cell(r, 0).ToString());
+      }
+    }
+    EXPECT_EQ(before, after);
+  }
+}
+
+TEST(AdditiveNoiseTest, InterleavedNullsMatchRowReference) {
+  for (ColumnType type : {ColumnType::kInt64, ColumnType::kDouble}) {
+    Table columnar = InterleavedNullFixture(type);
+    Table reference = columnar;
+    const uint64_t seed = 0xFACADE;
+    Rng rng_columnar(seed), rng_reference(seed);
+    const AdditiveNoise noise(AdditiveNoise::Distribution::kGaussian, 5.0);
+    ASSERT_TRUE(noise.PerturbColumn(&columnar, "v", &rng_columnar).ok());
+    ASSERT_TRUE(relational::rowref::AddNoiseRowAtATime(
+                    &reference, "v", /*gaussian=*/true, 5.0, &rng_reference)
+                    .ok());
+    ExpectTablesEqual(columnar, reference);
+  }
 }
 
 }  // namespace

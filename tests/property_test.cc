@@ -410,8 +410,8 @@ TEST_P(TableXmlRoundTripTest, SerializeParseIsIdentity) {
   ASSERT_EQ(back->schema(), t.schema());
   for (size_t r = 0; r < t.num_rows(); ++r) {
     for (size_t c = 0; c < t.schema().num_columns(); ++c) {
-      const auto& orig = t.row(r)[c];
-      const auto& got = back->row(r)[c];
+      const auto orig = t.Cell(r, c);
+      const auto got = back->Cell(r, c);
       if (orig.is_double()) {
         EXPECT_NEAR(orig.AsDouble(), got.AsDouble(),
                     1e-6 * std::max(1.0, std::fabs(orig.AsDouble())))

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
+#include "common/rng.h"
+#include "relational/column.h"
 #include "relational/executor.h"
+#include "relational/reference.h"
 #include "relational/expression.h"
 #include "relational/schema.h"
 #include "relational/sql.h"
@@ -418,6 +423,294 @@ TEST(XmlRecordsTest, DoubleRoundTripIsExact) {
   for (size_t i = 0; i < t.num_rows(); ++i) {
     EXPECT_EQ(back->row(i)[0].AsDouble(), t.row(i)[0].AsDouble()) << i;
   }
+}
+
+// --- ColumnVector (columnar storage) ---
+
+TEST(ColumnVectorTest, TypedAppendAndNullBitmap) {
+  ColumnVector c(ColumnType::kInt64);
+  c.AppendInt(7);
+  c.AppendNull();
+  c.AppendInt(-3);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_FALSE(c.IsNull(2));
+  EXPECT_EQ(c.CountValid(), 2u);
+  EXPECT_EQ(c.IntAt(0), 7);
+  EXPECT_EQ(c.IntAt(1), 0);  // NULL slot holds the zero payload
+  EXPECT_EQ(c.ValueAt(1).ToString(), "NULL");
+  EXPECT_EQ(c.ValueAt(2).AsInt(), -3);
+}
+
+TEST(ColumnVectorTest, StringArenaAndGatherCompaction) {
+  ColumnVector c(ColumnType::kString);
+  c.AppendStr("alpha");
+  c.AppendNull();
+  c.AppendStr("beta");
+  c.Set(0, Value::Str("a-much-longer-replacement"));  // arena slack until gather
+  const size_t slack_bytes = c.ApproxBytes();
+  const uint32_t sel[] = {2, 0};
+  ColumnVector g = c.Gather(sel, 2);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.StrAt(0), "beta");
+  EXPECT_EQ(g.StrAt(1), "a-much-longer-replacement");
+  EXPECT_LT(g.ApproxBytes(), slack_bytes);  // compaction dropped dead bytes
+}
+
+TEST(ColumnVectorTest, AppendValueCoercion) {
+  ColumnVector d(ColumnType::kDouble);
+  d.AppendValue(Value::Int(4));        // widens
+  d.AppendValue(Value::Str("nope"));   // mismatch -> NULL
+  d.AppendValue(Value::Null());
+  d.AppendValue(Value::Real(2.5));
+  EXPECT_DOUBLE_EQ(d.RealAt(0), 4.0);
+  EXPECT_TRUE(d.IsNull(1));
+  EXPECT_TRUE(d.IsNull(2));
+  EXPECT_DOUBLE_EQ(d.RealAt(3), 2.5);
+}
+
+TEST(ColumnVectorTest, EncodeCellMatchesCompareEquality) {
+  // The canonical key encoding must equate exactly what Value::Compare
+  // equates: int 2 == real 2.0, -0.0 == 0.0, NULL == NULL — and nothing else.
+  ColumnVector i(ColumnType::kInt64);
+  i.AppendInt(2);
+  ColumnVector d(ColumnType::kDouble);
+  d.AppendReal(2.0);
+  d.AppendReal(-0.0);
+  d.AppendReal(0.0);
+  d.AppendReal(2.5);
+  d.AppendNull();
+  std::string int2, real2, neg0, pos0, real25, null_key;
+  i.EncodeCell(0, &int2);
+  d.EncodeCell(0, &real2);
+  d.EncodeCell(1, &neg0);
+  d.EncodeCell(2, &pos0);
+  d.EncodeCell(3, &real25);
+  d.EncodeCell(4, &null_key);
+  EXPECT_EQ(int2, real2);
+  EXPECT_EQ(neg0, pos0);
+  EXPECT_NE(real2, real25);
+  EXPECT_NE(null_key, pos0);
+}
+
+TEST(TableColumnarTest, ProjectSharedSharesBuffersUntilMutation) {
+  Table t = PatientsFixture();
+  Table view = t.ProjectShared({0, 2});
+  ASSERT_EQ(view.num_columns(), 2u);
+  EXPECT_EQ(view.num_rows(), t.num_rows());
+  // Shared projection costs columns, not cells.
+  EXPECT_LT(view.ApproxBytes(), t.ApproxBytes());
+  // Copy-on-write: mutating the view leaves the base untouched.
+  view.SetCell(0, 0, Value::Int(999));
+  EXPECT_EQ(view.Cell(0, 0).AsInt(), 999);
+  EXPECT_EQ(t.Cell(0, 0).AsInt(), 1);
+}
+
+TEST(TableColumnarTest, AddColumnPadsWithNulls) {
+  Table t = PatientsFixture();
+  ColumnVector extra(ColumnType::kInt64);
+  extra.AppendInt(42);  // shorter than the table
+  t.AddColumn({"extra", ColumnType::kInt64}, std::move(extra));
+  ASSERT_EQ(t.num_columns(), 6u);
+  EXPECT_EQ(t.Cell(0, 5).AsInt(), 42);
+  for (size_t r = 1; r < t.num_rows(); ++r) EXPECT_TRUE(t.Cell(r, 5).is_null());
+}
+
+TEST(TableColumnarTest, ApproxBytesCountsColumnarFootprint) {
+  // Row-major storage paid a full Value variant (32+ bytes) per cell; the
+  // columnar footprint of an INT64 column must be close to 8 bytes/cell.
+  Table t(Schema{Column{"x", ColumnType::kInt64}});
+  t.Reserve(1024);
+  for (int64_t i = 0; i < 1024; ++i) {
+    t.AppendRowUnchecked(Row{Value::Int(i)});
+  }
+  const size_t per_row = t.ApproxBytes() / t.num_rows();
+  EXPECT_LT(per_row, sizeof(Value)) << "per-entry footprint should beat a "
+                                       "row-major Value cell";
+}
+
+// --- aggregate bugfix regressions ---
+
+TEST(AggregateRegressionTest, StdDevStableWhenMeanDwarfsSpread) {
+  // mean ~1e9, stddev ~1: the old sum-of-squares formula cancels
+  // catastrophically (sum_sq/n and mean^2 agree in ~18 digits); Welford
+  // accumulation keeps full precision.
+  Table t(Schema{Column{"x", ColumnType::kDouble}});
+  for (int i = -2; i <= 2; ++i) {
+    ASSERT_TRUE(t.AppendRow(Row{Value::Real(1e9 + static_cast<double>(i))}).ok());
+  }
+  auto out = Executor::Aggregate(t, {}, {SelectItem::Agg(AggFunc::kStdDev, "x")});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Population stddev of {-2,-1,0,1,2} is sqrt(2).
+  EXPECT_NEAR(out->Cell(0, 0).AsDouble(), std::sqrt(2.0), 1e-6);
+}
+
+TEST(AggregateRegressionTest, Int64SumExactAbove2Pow53) {
+  // 2^53 + 1 + 2 is not representable as a double sum ((2^53)+1 == 2^53 in
+  // binary64); the exact int64 accumulator must keep every unit.
+  const int64_t big = int64_t{1} << 53;
+  Table t(Schema{Column{"x", ColumnType::kInt64}});
+  ASSERT_TRUE(t.AppendRow(Row{Value::Int(big)}).ok());
+  ASSERT_TRUE(t.AppendRow(Row{Value::Int(1)}).ok());
+  ASSERT_TRUE(t.AppendRow(Row{Value::Int(2)}).ok());
+  auto out = Executor::Aggregate(t, {}, {SelectItem::Agg(AggFunc::kSum, "x"),
+                                         SelectItem::Agg(AggFunc::kAvg, "x")});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->schema().column(0).type, ColumnType::kInt64);
+  EXPECT_EQ(out->Cell(0, 0).AsInt(), big + 3);
+  EXPECT_DOUBLE_EQ(out->Cell(0, 1).AsDouble(),
+                   static_cast<double>(big + 3) / 3.0);
+}
+
+TEST(AggregateRegressionTest, Int64SumOverflowWidensToDouble) {
+  const int64_t huge = std::numeric_limits<int64_t>::max();
+  Table t(Schema{Column{"x", ColumnType::kInt64}});
+  ASSERT_TRUE(t.AppendRow(Row{Value::Int(huge)}).ok());
+  ASSERT_TRUE(t.AppendRow(Row{Value::Int(huge)}).ok());
+  auto out = Executor::Aggregate(t, {}, {SelectItem::Agg(AggFunc::kSum, "x")});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->schema().column(0).type, ColumnType::kDouble);
+  EXPECT_NEAR(out->Cell(0, 0).AsDouble(), 2.0 * static_cast<double>(huge),
+              1e4);
+}
+
+// --- differential harness: vectorized engine vs row-engine reference ---
+
+Table RandomTable(Rng* rng, size_t num_rows, double null_density) {
+  Table t(Schema{Column{"i", ColumnType::kInt64}, Column{"d", ColumnType::kDouble},
+                 Column{"s", ColumnType::kString}, Column{"b", ColumnType::kBool},
+                 Column{"g", ColumnType::kInt64}});
+  static const char* kWords[] = {"oslo", "bern", "rome", "", "a%b", "x_y"};
+  for (size_t r = 0; r < num_rows; ++r) {
+    auto maybe = [&](Value v) {
+      return rng->NextDouble() < null_density ? Value::Null() : std::move(v);
+    };
+    Row row;
+    row.push_back(maybe(Value::Int(static_cast<int64_t>(rng->NextBounded(200)) - 100)));
+    row.push_back(maybe(Value::Real(rng->NextUniform(-50.0, 50.0))));
+    row.push_back(maybe(Value::Str(kWords[rng->NextBounded(6)])));
+    row.push_back(maybe(Value::Boolean(rng->NextBounded(2) == 1)));
+    row.push_back(maybe(Value::Int(static_cast<int64_t>(rng->NextBounded(4)))));
+    t.AppendRowUnchecked(row);
+  }
+  return t;
+}
+
+void ExpectSameTable(const Result<Table>& vec, const Result<Table>& ref,
+                     const std::string& what) {
+  ASSERT_EQ(vec.ok(), ref.ok())
+      << what << ": " << (vec.ok() ? ref.status() : vec.status()).ToString();
+  if (!vec.ok()) return;
+  ASSERT_EQ(vec->schema().ToString(), ref->schema().ToString()) << what;
+  ASSERT_EQ(vec->num_rows(), ref->num_rows()) << what;
+  for (size_t r = 0; r < vec->num_rows(); ++r) {
+    for (size_t c = 0; c < vec->num_columns(); ++c) {
+      // ToString renders doubles with shortest-round-trip precision, so
+      // distinct bit patterns render distinctly.
+      ASSERT_EQ(vec->Cell(r, c).ToString(), ref->Cell(r, c).ToString())
+          << what << " cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(DifferentialTest, BothEnginesAgreeAcrossNullDensities) {
+  const char* kPredicates[] = {
+      "i > 0",
+      "i > 0 AND d < 10.0",
+      "s = 'oslo' OR b = TRUE",
+      "NOT (g = 2)",
+      "s LIKE 'o%'",
+      "s LIKE '%_y'",
+      "i IN (1, 2, 3, 55)",
+      "d IN (0.5)",
+      "i + g > 3",
+      "d * 2.0 <= i - 1",
+      "i = d",
+      "s >= 'm'",
+  };
+  const std::vector<SelectItem> kAggs = {
+      SelectItem::Agg(AggFunc::kCount, ""),
+      SelectItem::Agg(AggFunc::kCount, "i"),
+      SelectItem::Agg(AggFunc::kSum, "i"),
+      SelectItem::Agg(AggFunc::kSum, "d"),
+      SelectItem::Agg(AggFunc::kAvg, "d"),
+      SelectItem::Agg(AggFunc::kMin, "i"),
+      SelectItem::Agg(AggFunc::kMax, "d"),
+      SelectItem::Agg(AggFunc::kMin, "s"),
+      SelectItem::Agg(AggFunc::kStdDev, "d"),
+  };
+  for (double null_density : {0.0, 0.2, 0.9}) {
+    Rng rng(0xC0FFEE + static_cast<uint64_t>(null_density * 100));
+    // Deliberately not a multiple of the executor's batch size, so the tail
+    // batch path is exercised.
+    Table t = RandomTable(&rng, 1500, null_density);
+    const std::string tag = " (null_density=" + std::to_string(null_density) + ")";
+
+    for (const char* sql : kPredicates) {
+      auto pred = ParseExpression(sql);
+      ASSERT_TRUE(pred.ok()) << sql;
+      ExpectSameTable(Executor::Filter(t, *pred), rowref::Filter(t, *pred),
+                      std::string("Filter ") + sql + tag);
+    }
+    ExpectSameTable(Executor::Filter(t, nullptr), rowref::Filter(t, nullptr),
+                    "Filter <none>" + tag);
+    ExpectSameTable(Executor::Project(t, {"d", "i"}), rowref::Project(t, {"d", "i"}),
+                    "Project" + tag);
+    ExpectSameTable(Executor::Aggregate(t, {}, kAggs), rowref::Aggregate(t, {}, kAggs),
+                    "Aggregate global" + tag);
+    ExpectSameTable(Executor::Aggregate(t, {"g"}, kAggs),
+                    rowref::Aggregate(t, {"g"}, kAggs), "Aggregate by g" + tag);
+    ExpectSameTable(Executor::Aggregate(t, {"g", "b"}, kAggs),
+                    rowref::Aggregate(t, {"g", "b"}, kAggs),
+                    "Aggregate by g,b" + tag);
+    Table right = RandomTable(&rng, 40, null_density);
+    ExpectSameTable(Executor::HashJoin(t, right, "g", "g", "r_"),
+                    rowref::HashJoin(t, right, "g", "g", "r_"), "HashJoin" + tag);
+    ExpectSameTable(Executor::Union(t, t), rowref::Union(t, t), "Union" + tag);
+    ExpectSameTable(Result<Table>(Executor::Distinct(t)),
+                    Result<Table>(rowref::Distinct(t)), "Distinct" + tag);
+    const std::vector<OrderKey> keys = {{"g", true}, {"d", false}, {"s", true}};
+    ExpectSameTable(Executor::Sort(t, keys), rowref::Sort(t, keys), "Sort" + tag);
+    ExpectSameTable(Result<Table>(Executor::Limit(t, 17)),
+                    Result<Table>(rowref::Limit(t, 17)), "Limit" + tag);
+  }
+}
+
+TEST(DifferentialTest, EmptyTablesAgree) {
+  Table t(Schema{Column{"i", ColumnType::kInt64}, Column{"d", ColumnType::kDouble},
+                 Column{"s", ColumnType::kString}, Column{"b", ColumnType::kBool},
+                 Column{"g", ColumnType::kInt64}});
+  auto pred = ParseExpression("i > 0");
+  ASSERT_TRUE(pred.ok());
+  ExpectSameTable(Executor::Filter(t, *pred), rowref::Filter(t, *pred),
+                  "Filter empty");
+  const std::vector<SelectItem> aggs = {SelectItem::Agg(AggFunc::kCount, ""),
+                                        SelectItem::Agg(AggFunc::kSum, "i"),
+                                        SelectItem::Agg(AggFunc::kStdDev, "d")};
+  ExpectSameTable(Executor::Aggregate(t, {}, aggs), rowref::Aggregate(t, {}, aggs),
+                  "Aggregate empty global");
+  ExpectSameTable(Executor::Aggregate(t, {"g"}, aggs),
+                  rowref::Aggregate(t, {"g"}, aggs), "Aggregate empty grouped");
+  ExpectSameTable(Executor::HashJoin(t, t, "g", "g", "r_"),
+                  rowref::HashJoin(t, t, "g", "g", "r_"), "Join empty");
+  ExpectSameTable(Executor::Sort(t, {{"i", true}}), rowref::Sort(t, {{"i", true}}),
+                  "Sort empty");
+  ExpectSameTable(Result<Table>(Executor::Limit(t, 5)),
+                  Result<Table>(rowref::Limit(t, 5)), "Limit empty");
+}
+
+TEST(DifferentialTest, ErrorCasesAgree) {
+  Rng rng(7);
+  Table t = RandomTable(&rng, 64, 0.1);
+  auto like_on_int = ParseExpression("i LIKE 'x%'");
+  ASSERT_TRUE(like_on_int.ok());
+  EXPECT_FALSE(Executor::Filter(t, *like_on_int).ok());
+  EXPECT_FALSE(rowref::Filter(t, *like_on_int).ok());
+  EXPECT_FALSE(Executor::Project(t, {"missing"}).ok());
+  EXPECT_FALSE(rowref::Project(t, {"missing"}).ok());
+  EXPECT_FALSE(Executor::Aggregate(t, {}, {SelectItem::Col("i")}).ok());
+  EXPECT_FALSE(rowref::Aggregate(t, {}, {SelectItem::Col("i")}).ok());
 }
 
 }  // namespace

@@ -193,6 +193,16 @@ TEST(WarehouseScaleTest, SnapshotDoesNotBlockConcurrentGets) {
     }
   });
 
+  // The Get loop below can finish in a couple of milliseconds — less than a
+  // thread spawn under a loaded scheduler. Wait for the first snapshot so
+  // the Gets actually contend with a running snapshotter.
+  const auto spawn_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (snapshots_taken.load() == 0 &&
+         std::chrono::steady_clock::now() < spawn_deadline) {
+    std::this_thread::yield();
+  }
+
   double worst_get_micros = 0.0;
   for (size_t i = 0; i < 2000; ++i) {
     const auto start = std::chrono::steady_clock::now();

@@ -390,6 +390,47 @@ void CheckAnalysisEscape(const std::string& path, const std::vector<LineInfo>& l
   }
 }
 
+/// row-loop: the perturbation/anonymization kernels and the relational
+/// engine iterate contiguous column buffers; materializing Rows in a loop
+/// reintroduces the per-cell variant churn the columnar rebuild removed
+/// (and, for dense write-backs, the NULL-misalignment bug class). The row
+/// shims (relational/table.*) and the row-engine reference
+/// (relational/reference.*) are the sanctioned homes of row iteration.
+void CheckRowLoop(const std::string& path, const std::vector<LineInfo>& lines, Emit out) {
+  static const char* kRule = "row-loop";
+  const bool hot = PathHas(path, "src/perturb/") ||
+                   PathHas(path, "src/anonymity/") ||
+                   PathHas(path, "src/relational/");
+  if (!hot) return;
+  if (PathHas(path, "relational/table.") || PathHas(path, "relational/reference.")) {
+    return;
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    // ".rows()" / "->rows()" but not "num_rows()": the char before "rows()"
+    // must not be part of an identifier.
+    bool rows_call = false;
+    for (size_t p = code.find("rows()"); p != std::string::npos;
+         p = code.find("rows()", p + 1)) {
+      if (p == 0) continue;  // a bare "rows()" is not a member call
+      const char before = code[p - 1];
+      if (!(std::isalnum(static_cast<unsigned char>(before)) || before == '_')) {
+        rows_call = true;
+        break;
+      }
+    }
+    const bool row_iteration =
+        HasToken(code, "mutable_rows") ||
+        (HasToken(code, "for") &&
+         (rows_call || code.find("Row&") != std::string::npos));
+    if (row_iteration && !Suppressed(lines, i, kRule)) {
+      AddFinding(out, path, i, kRule,
+                 "row-at-a-time iteration in a columnar hot path; loop over the "
+                 "column's typed buffer (Table::col / MutableColumn) instead");
+    }
+  }
+}
+
 struct Rule {
   const char* name;
   const char* description;
@@ -421,6 +462,9 @@ const std::vector<Rule>& Rules() {
       {"analysis-escape",
        "NO_THREAD_SAFETY_ANALYSIS outside common/sync.h (no opt-outs)",
        CheckAnalysisEscape},
+      {"row-loop",
+       "row-at-a-time iteration in columnar hot paths (perturb/anonymity/relational)",
+       CheckRowLoop},
   };
   return kRules;
 }
