@@ -8,7 +8,9 @@
 # (PIYE_SANITIZE=thread), then the parser/overload suites under UBSan
 # (PIYE_SANITIZE=undefined), then the columnar hot-path gate
 # (bench_fig2_pipeline --quick: speedup + value-identity against the row
-# reference engine). The analysis leg runs before the sanitizer legs
+# reference engine), then a scaled-down bounded-state soak (crash matrix
+# against the counting oracle with RSS and recovery-time ceilings). The
+# analysis leg runs before the sanitizer legs
 # on purpose: it needs no test execution, so a lock-discipline or
 # invariant violation fails CI in seconds instead of after three sanitizer
 # builds. The ASan leg matters for the durability layer — the WAL/recovery
@@ -30,6 +32,7 @@
 #   PIYE_CI_SKIP_TSAN=1 scripts/ci.sh     # skip the TSan leg
 #   PIYE_CI_SKIP_UBSAN=1 scripts/ci.sh    # skip the UBSan leg
 #   PIYE_CI_SKIP_BENCH=1 scripts/ci.sh    # skip the columnar hot-path gate
+#   PIYE_CI_SKIP_SOAK=1 scripts/ci.sh     # skip the bounded-state soak gate
 #
 # Exits non-zero on any build failure, compiler warning, test failure,
 # lint finding, thread-safety violation, or sanitizer report.
@@ -45,16 +48,16 @@ if [[ "${PIYE_CI_SKIP_NET:-0}" == "1" ]]; then
   CTEST_EXCLUDE=(-E '^net_cluster_test$')
 fi
 
-echo "=== [1/7] build (warning-free: -Werror) + test ==="
+echo "=== [1/8] build (warning-free: -Werror) + test ==="
 cmake -B "$ROOT/build" -S "$ROOT" -DPIYE_WERROR=ON
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
   "${CTEST_EXCLUDE[@]}"
 
 if [[ "${PIYE_CI_SKIP_NET:-0}" == "1" ]]; then
-  echo "=== [2/7] multi-process federation leg skipped (PIYE_CI_SKIP_NET=1) ==="
+  echo "=== [2/8] multi-process federation leg skipped (PIYE_CI_SKIP_NET=1) ==="
 else
-  echo "=== [2/7] multi-process federation: source servers over UDS ==="
+  echo "=== [2/8] multi-process federation: source servers over UDS ==="
   # Builds the server binary and drives a mediation engine against three
   # real source_server processes: byte-identity with the in-process path,
   # SIGKILL degradation to quorum, breaker reopen after restart, graceful
@@ -64,9 +67,9 @@ else
 fi
 
 if [[ "${PIYE_CI_SKIP_ANALYSIS:-0}" == "1" ]]; then
-  echo "=== [3/7] static analysis leg skipped (PIYE_CI_SKIP_ANALYSIS=1) ==="
+  echo "=== [3/8] static analysis leg skipped (PIYE_CI_SKIP_ANALYSIS=1) ==="
 else
-  echo "=== [3/7] static analysis: piye_lint + clang thread-safety ==="
+  echo "=== [3/8] static analysis: piye_lint + clang thread-safety ==="
   # piye_lint: repo-specific structural rules (raw sync primitives, analysis
   # escape hatches, privacy-retry, serialization boundaries, status
   # discards, header hygiene — see tools/lint/lint.h). Any finding fails CI;
@@ -92,9 +95,9 @@ else
 fi
 
 if [[ "${PIYE_CI_SKIP_ASAN:-0}" == "1" ]]; then
-  echo "=== [4/7] ASan leg skipped (PIYE_CI_SKIP_ASAN=1) ==="
+  echo "=== [4/8] ASan leg skipped (PIYE_CI_SKIP_ASAN=1) ==="
 else
-  echo "=== [4/7] AddressSanitizer build + test ==="
+  echo "=== [4/8] AddressSanitizer build + test ==="
   # halt_on_error makes a sanitizer report fail the test that produced it;
   # leak detection stays off to match scripts/sanitize.sh (ptrace is often
   # unavailable in CI containers).
@@ -107,9 +110,9 @@ else
 fi
 
 if [[ "${PIYE_CI_SKIP_TSAN:-0}" == "1" ]]; then
-  echo "=== [5/7] TSan leg skipped (PIYE_CI_SKIP_TSAN=1) ==="
+  echo "=== [5/8] TSan leg skipped (PIYE_CI_SKIP_TSAN=1) ==="
 else
-  echo "=== [5/7] ThreadSanitizer build + concurrency suites ==="
+  echo "=== [5/8] ThreadSanitizer build + concurrency suites ==="
   # The TSan leg runs the suites that exercise real lock/atomic contention:
   # the sharded warehouse + single-flight scale suite, the engine fan-out
   # suite, the admission/cancellation suite and chaos/soak harness, the
@@ -117,21 +120,23 @@ else
   # suite (client reader/writer threads vs server accept/worker threads,
   # reconnect teardown races, window backpressure), plus the relational
   # suite so the copy-on-write column sharing (shared_ptr buffers cloned on
-  # MutableColumn) is exercised under the race detector.
+  # MutableColumn) is exercised under the race detector, and the
+  # bounded-state suite (background snapshotter racing live traffic, sharded
+  # history fault-in, rotate kill points).
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
   cmake -B "$ROOT/build-threadsan" -S "$ROOT" -DPIYE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ROOT/build-threadsan" -j "$JOBS" --target \
     warehouse_scale_test concurrency_test recovery_test admission_test \
-    chaos_soak_test net_test relational_test
+    chaos_soak_test net_test relational_test bounded_state_test
   ctest --test-dir "$ROOT/build-threadsan" --output-on-failure -j "$JOBS" \
-    -R '^(warehouse_scale_test|concurrency_test|recovery_test|admission_test|chaos_soak_test|net_test|relational_test)$'
+    -R '^(warehouse_scale_test|concurrency_test|recovery_test|admission_test|chaos_soak_test|net_test|relational_test|bounded_state_test)$'
 fi
 
 if [[ "${PIYE_CI_SKIP_UBSAN:-0}" == "1" ]]; then
-  echo "=== [6/7] UBSan leg skipped (PIYE_CI_SKIP_UBSAN=1) ==="
+  echo "=== [6/8] UBSan leg skipped (PIYE_CI_SKIP_UBSAN=1) ==="
 else
-  echo "=== [6/7] UndefinedBehaviorSanitizer build + parser/overload suites ==="
+  echo "=== [6/8] UndefinedBehaviorSanitizer build + parser/overload suites ==="
   # UBSan earns its keep where the arithmetic lives: token-bucket refill and
   # retry-after math, backoff shifting, the XML parser driven by the seeded
   # malformed-input fuzz loop, the wire-frame decoder under the bit-flip
@@ -149,9 +154,9 @@ else
 fi
 
 if [[ "${PIYE_CI_SKIP_BENCH:-0}" == "1" ]]; then
-  echo "=== [7/7] columnar hot-path gate skipped (PIYE_CI_SKIP_BENCH=1) ==="
+  echo "=== [7/8] columnar hot-path gate skipped (PIYE_CI_SKIP_BENCH=1) ==="
 else
-  echo "=== [7/7] columnar hot-path gate: bench_fig2_pipeline --quick ==="
+  echo "=== [7/8] columnar hot-path gate: bench_fig2_pipeline --quick ==="
   # Times the vectorized engine against the row-at-a-time reference on the
   # aggregation and rank-swap hot paths, requires cell-for-cell identical
   # answers, and fails unless aggregation clears its speedup bar. Catches
@@ -159,6 +164,23 @@ else
   # the columnar rebuild.
   cmake --build "$ROOT/build" -j "$JOBS" --target bench_fig2_pipeline
   "$ROOT/build/bench/bench_fig2_pipeline" --quick
+fi
+
+if [[ "${PIYE_CI_SKIP_SOAK:-0}" == "1" ]]; then
+  echo "=== [8/8] bounded-state soak skipped (PIYE_CI_SKIP_SOAK=1) ==="
+else
+  echo "=== [8/8] bounded-state soak: crash matrix vs oracle at 200k requesters ==="
+  # A scaled-down run of the 1M-requester crash/soak matrix: randomized WAL
+  # and rotation kills, byte-identical refusal decisions against the
+  # counting oracle, bounded RSS (the resident set spills to durable budget
+  # floors), and a recovery-time ceiling that tracks snapshot size rather
+  # than uptime. The full-scale run is documented in EXPERIMENTS.md
+  # (abl-bounded-state); this leg pins the invariants on every commit.
+  cmake --build "$ROOT/build" -j "$JOBS" --target bounded_state_soak_test
+  PIYE_SOAK_REQUESTERS="${PIYE_SOAK_REQUESTERS:-200000}" \
+  PIYE_SOAK_RSS_MB="${PIYE_SOAK_RSS_MB:-600}" \
+  PIYE_SOAK_RECOVERY_MS="${PIYE_SOAK_RECOVERY_MS:-5000}" \
+    "$ROOT/build/tests/bounded_state_soak_test"
 fi
 
 echo "=== CI green ==="

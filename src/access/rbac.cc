@@ -59,8 +59,19 @@ void RbacDatabase::CollectJuniors(const std::string& role,
 std::set<std::string> RbacDatabase::EffectiveRoles(const std::string& user) const {
   std::set<std::string> out;
   auto it = user_roles_.find(user);
-  if (it == user_roles_.end()) return out;
-  for (const auto& role : it->second) CollectJuniors(role, &out);
+  if (it != user_roles_.end()) {
+    for (const auto& role : it->second) CollectJuniors(role, &out);
+  }
+  // Roles assigned to the wildcard user "*" are held by every requester.
+  // This keeps population-scale deployments O(1) in RBAC state instead of
+  // one assignment row per requester; the privacy layer still gates each
+  // requester's disclosures individually.
+  if (user != "*") {
+    auto any = user_roles_.find("*");
+    if (any != user_roles_.end()) {
+      for (const auto& role : any->second) CollectJuniors(role, &out);
+    }
+  }
   return out;
 }
 

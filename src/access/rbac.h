@@ -30,7 +30,8 @@ class RbacDatabase {
   /// Declares a role; `parents` are the roles it inherits from.
   Status AddRole(const std::string& role, const std::vector<std::string>& parents = {});
 
-  /// Assigns a role to a user.
+  /// Assigns a role to a user. The wildcard user "*" assigns the role to
+  /// every requester — one row of RBAC state regardless of population size.
   Status AssignRole(const std::string& user, const std::string& role);
 
   /// Grants `action` on table.column (wildcards allowed) to a role.

@@ -15,6 +15,21 @@ namespace {
 /// therefore immediate.
 constexpr std::chrono::milliseconds kCancelPoll{2};
 
+/// Every this-many admissions through a bucket shard, fully-refilled buckets
+/// are swept. A full bucket is indistinguishable from a fresh one, so the
+/// sweep never changes an admission decision — it only bounds memory.
+constexpr uint64_t kBucketSweepInterval = 256;
+
+/// Every this-many pushes/pops, the fair-share queue drops idle entries whose
+/// pass-debt the virtual clock has absorbed.
+constexpr uint64_t kQueueSweepInterval = 64;
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
 // --- TokenBucket ---
@@ -58,16 +73,43 @@ double TokenBucket::tokens(TimePoint now) const {
   return tokens_;
 }
 
+bool TokenBucket::FullyRefilled(TimePoint now) const {
+  RefillLocked(now);
+  return tokens_ >= burst_;
+}
+
 // --- FairShareQueue ---
 
 void FairShareQueue::SetWeight(const std::string& requester, double weight) {
-  requesters_[requester].weight = std::max(1e-6, weight);
+  const double clamped = std::max(1e-6, weight);
+  weights_[requester] = clamped;
+  auto it = requesters_.find(requester);
+  if (it != requesters_.end()) it->second.weight = clamped;
+}
+
+void FairShareQueue::SweepIdle() {
+  if (++ops_ % kQueueSweepInterval != 0) return;
+  for (auto it = requesters_.begin(); it != requesters_.end();) {
+    // Evictable: no waiters, and no pass-debt ahead of the virtual clock. A
+    // re-push would clamp pass up to virtual_time_ anyway, so recreating the
+    // entry later lands it in exactly this state.
+    if (it->second.waiters.empty() && it->second.pass <= virtual_time_) {
+      it = requesters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 bool FairShareQueue::Push(uint64_t id, const std::string& requester,
                           TimePoint deadline) {
   if (size_ >= max_depth_) return false;  // LIFO shed: the newcomer loses
-  PerRequester& r = requesters_[requester];
+  auto [entry, inserted] = requesters_.try_emplace(requester);
+  PerRequester& r = entry->second;
+  if (inserted) {
+    auto w = weights_.find(requester);
+    if (w != weights_.end()) r.weight = w->second;
+  }
   if (r.waiters.empty()) {
     // idle → active: no banked credit from the idle period.
     r.pass = std::max(r.pass, virtual_time_);
@@ -85,6 +127,7 @@ bool FairShareQueue::Push(uint64_t id, const std::string& requester,
                              });
   r.waiters.insert(it, w);
   ++size_;
+  SweepIdle();
   return true;
 }
 
@@ -103,6 +146,9 @@ bool FairShareQueue::Pop(uint64_t* id) {
   *id = r.waiters.front().id;
   r.waiters.pop_front();
   --size_;
+  // The just-served requester keeps pass > virtual_time_, so the sweep
+  // cannot drop its banked debt.
+  SweepIdle();
   return true;
 }
 
@@ -123,10 +169,20 @@ bool FairShareQueue::Remove(uint64_t id) {
 
 AdmissionController::AdmissionController(AdmissionConfig config,
                                          trace::MetricsRegistry* metrics)
-    : config_(std::move(config)), metrics_(metrics), queue_(config_.max_queue_depth) {
+    : config_(std::move(config)),
+      metrics_(metrics),
+      bucket_shards_(RoundUpPow2(std::max<size_t>(1, config_.bucket_shards))),
+      queue_(config_.max_queue_depth) {
+  bucket_shard_mask_ = bucket_shards_.size() - 1;
   for (const auto& [requester, weight] : config_.requester_weights) {
     queue_.SetWeight(requester, weight);
   }
+}
+
+AdmissionController::BucketShard& AdmissionController::BucketShardFor(
+    const std::string& requester) const {
+  return bucket_shards_[std::hash<std::string>{}(requester) &
+                        bucket_shard_mask_];
 }
 
 size_t AdmissionController::inflight() const {
@@ -137,6 +193,20 @@ size_t AdmissionController::inflight() const {
 size_t AdmissionController::queue_depth() const {
   MutexLock lock(mu_);
   return queue_.size();
+}
+
+size_t AdmissionController::tracked_buckets() const {
+  size_t total = 0;
+  for (const BucketShard& shard : bucket_shards_) {
+    MutexLock lock(shard.mu);
+    total += shard.buckets.size();
+  }
+  return total;
+}
+
+size_t AdmissionController::tracked_requesters() const {
+  MutexLock lock(mu_);
+  return queue_.tracked_requesters();
 }
 
 void AdmissionController::Permit::Release() {
@@ -168,23 +238,41 @@ Result<AdmissionController::Permit> AdmissionController::Admit(
       return live;
     }
   }
-  MutexLock lock(mu_);
   const auto now = std::chrono::steady_clock::now();
 
   if (config_.tokens_per_second > 0.0) {
-    auto it = buckets_
+    // Rate check under the shard lock only — the hot rejection path for an
+    // abusive requester never touches the main admission mutex.
+    BucketShard& shard = BucketShardFor(requester);
+    MutexLock shard_lock(shard.mu);
+    auto it = shard.buckets
                   .try_emplace(requester, config_.tokens_per_second,
                                config_.bucket_burst)
                   .first;
-    if (!it->second.TryConsume(now)) {
+    const bool consumed = it->second.TryConsume(now);
+    const uint64_t retry_ms = consumed ? 0 : it->second.RetryAfterMillis(now);
+    if (++shard.ops % kBucketSweepInterval == 0) {
+      for (auto b = shard.buckets.begin(); b != shard.buckets.end();) {
+        // Keep the bucket just charged; evict any bucket back at full burst
+        // (decision-identical to the fresh bucket a returning requester
+        // would get).
+        if (b != it && b->second.FullyRefilled(now)) {
+          b = shard.buckets.erase(b);
+        } else {
+          ++b;
+        }
+      }
+    }
+    if (!consumed) {
       metrics_->AddCounter("engine.shed");
       return Status::ResourceExhausted(
           "admission: requester '" + requester +
           "' exceeded its rate limit; retry after ~" +
-          std::to_string(it->second.RetryAfterMillis(now)) + " ms");
+          std::to_string(retry_ms) + " ms");
     }
   }
 
+  MutexLock lock(mu_);
   if (config_.max_inflight == 0 ||
       (inflight_ < config_.max_inflight && queue_.empty())) {
     ++inflight_;

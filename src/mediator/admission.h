@@ -6,6 +6,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/cancel.h"
 #include "common/sync.h"
@@ -42,6 +43,13 @@ struct AdmissionConfig {
   /// Bucket capacity (burst tolerance). <= 0 ⇒ max(1, tokens_per_second).
   double bucket_burst = 0.0;
 
+  /// Token-bucket shard count (rounded up to a power of two). Buckets are
+  /// checked before the main admission lock, so a million rate-limited
+  /// requesters contend on shards, not on one mutex. Full buckets are
+  /// swept periodically — a fully-refilled bucket is decision-identical to
+  /// a fresh one, so eviction never changes an admission outcome.
+  size_t bucket_shards = 8;
+
   /// Fair-share weights by requester name; absent requesters weigh 1.0. A
   /// weight-2 requester is served twice as often from the queue as a
   /// weight-1 requester when both have waiters.
@@ -65,6 +73,10 @@ class TokenBucket {
   uint64_t RetryAfterMillis(TimePoint now) const;
 
   double tokens(TimePoint now) const;
+
+  /// True when the bucket holds its full burst again — the state a brand-new
+  /// bucket starts in, which is what makes sweeping full buckets safe.
+  bool FullyRefilled(TimePoint now) const;
 
  private:
   void RefillLocked(TimePoint now) const;
@@ -108,6 +120,12 @@ class FairShareQueue {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Live per-requester entries (waiters or banked pass-debt). Bounded: a
+  /// periodic sweep erases idle entries whose pass has been overtaken by the
+  /// virtual clock — re-activation clamps to the clock anyway, so eviction
+  /// is behaviour-identical.
+  size_t tracked_requesters() const { return requesters_.size(); }
+
  private:
   struct Waiter {
     uint64_t id = 0;
@@ -120,14 +138,22 @@ class FairShareQueue {
     double weight = 1.0;
   };
 
+  /// Drops idle entries that carry no debt the virtual clock hasn't already
+  /// absorbed. Called every kSweepInterval pushes/pops; deterministic.
+  void SweepIdle();
+
   size_t max_depth_;
   size_t size_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t ops_ = 0;  ///< push/pop count, drives the idle sweep
   /// Virtual clock: the pass of the last served requester. A requester going
   /// idle→active restarts at this value so a long-idle requester cannot bank
   /// pass-credit and then monopolize the queue.
   double virtual_time_ = 0.0;
   std::map<std::string, PerRequester> requesters_;
+  /// Configured weights, kept separately from the live entries so an idle
+  /// entry can be evicted without forgetting its weight.
+  std::map<std::string, double> weights_;
 };
 
 /// The engine's admission pipeline, run before *anything* else a query
@@ -184,11 +210,28 @@ class AdmissionController {
   size_t inflight() const;
   size_t queue_depth() const;
 
+  /// Resident token buckets across all shards (bounded by the sweep).
+  size_t tracked_buckets() const;
+  /// Live fair-share queue entries (bounded by the idle sweep).
+  size_t tracked_requesters() const;
+
  private:
+  /// One token-bucket shard: requesters hash here by name, and the rate
+  /// check runs entirely under the shard lock — never the main mu_.
+  struct BucketShard {
+    mutable Mutex mu;
+    std::map<std::string, TokenBucket> buckets GUARDED_BY(mu);
+    uint64_t ops GUARDED_BY(mu) = 0;  ///< admissions since start, drives sweep
+  };
+
   void Release() EXCLUDES(mu_);
+  BucketShard& BucketShardFor(const std::string& requester) const;
 
   AdmissionConfig config_;
   trace::MetricsRegistry* metrics_;
+
+  mutable std::vector<BucketShard> bucket_shards_;
+  size_t bucket_shard_mask_ = 0;
 
   mutable Mutex mu_;
   CondVar cv_;
@@ -198,7 +241,6 @@ class AdmissionController {
   /// Waiters flipped to admitted by Release; their Admit call wakes, erases
   /// the marker, and owns the transferred slot.
   std::map<uint64_t, bool> admitted_ GUARDED_BY(mu_);
-  std::map<std::string, TokenBucket> buckets_ GUARDED_BY(mu_);
 };
 
 }  // namespace mediator

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <set>
 #include <utility>
 
 #include "common/logging.h"
@@ -99,6 +100,8 @@ struct MediationEngine::InflightExecution {
 
 MediationEngine::MediationEngine(Options options)
     : options_(options),
+      history_(QueryHistory::Options{options.history_shards,
+                                     options.max_resident_history}),
       warehouse_(Warehouse::Options{options.warehouse_shards,
                                     options.warehouse_max_bytes}),
       control_(options.max_combined_loss, options.max_interval_loss),
@@ -175,17 +178,70 @@ Status MediationEngine::JournalLocked(RecordType type, const std::string& payloa
 }
 
 Status MediationEngine::RotateSnapshotLocked() {
+  const auto start = std::chrono::steady_clock::now();
+  // The incremental part: floors dirtied since the last rotation. The
+  // in-memory loss accumulators are NOT guarded by persist_mu_, so a
+  // Record can land after this capture and before MarkClean below — which
+  // is why MarkClean only cleans floors this map actually covers.
+  std::map<std::string, double> dirty = history_.DirtyFloors();
   DurableState state;
   state.history = history_.Snapshot();
   state.cumulative_loss = history_.CumulativeLosses();
+  state.total_history = history_.size();
   state.epoch = epoch();
   state.warehouse = warehouse_.SnapshotEntries();
   state.cells = control_.SnapshotCells();
   state.disclosures = control_.SnapshotDisclosures();
-  PIYE_RETURN_NOT_OK(persist_->Rotate(EncodeSnapshot(state)));
+  PIYE_RETURN_NOT_OK(persist_->Rotate(EncodeSnapshot(state), dirty));
+  // The rotation committed: the captured floors are durable (merged into
+  // the floor index; clean ones were merged by an earlier rotation and
+  // carried forward). Floors dirtied since the capture stay dirty — the
+  // next rotation persists them, and the spiller below never evicts a
+  // dirty entry.
+  history_.MarkClean(dirty);
+  {
+    MutexLock index_lock(floor_index_mu_);
+    floor_index_ = persist_->floors();
+  }
+  if (options_.hot_requesters > 0) {
+    const size_t spilled = history_.SpillColdest(options_.hot_requesters);
+    if (spilled > 0) {
+      Logger::Info("mediator", "spilled " + std::to_string(spilled) +
+                                   " cold requesters to the floor index");
+    }
+  }
   records_since_snapshot_ = 0;
   metrics_.AddCounter("engine.snapshots");
+  snapshots_total_.fetch_add(1);
+  const auto end = std::chrono::steady_clock::now();
+  last_snapshot_duration_ms_.store(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(end - start)
+          .count()));
+  last_snapshot_done_ns_.store(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          end.time_since_epoch())
+          .count()));
   return Status::OK();
+}
+
+Status MediationEngine::RotateSnapshotBackground() {
+  MutexLock lock(persist_mu_);
+  if (persist_ == nullptr) {
+    return Status::InvalidArgument("no persistence attached");
+  }
+  if (persist_failed_.load()) return FailClosedStatus();
+  const Status rotated = RotateSnapshotLocked();
+  if (!rotated.ok()) {
+    // A durability failure *during* compaction trips the same fail-closed
+    // latch as a WAL append failure: the entries themselves are durable in
+    // the current generation, but a disk that cannot rotate is a disk that
+    // will shortly fail an append — stop accepting work now.
+    persist_failed_.store(true);
+    metrics_.AddCounter("engine.persist_failures");
+    Logger::Error("mediator", "snapshot rotation failed, failing closed: " +
+                                  rotated.ToString());
+  }
+  return rotated;
 }
 
 Status MediationEngine::RecordDurably(
@@ -203,10 +259,23 @@ Status MediationEngine::RecordDurably(
   // Sequence numbers are assigned under persist_mu_, so WAL order and
   // in-memory order agree and recovery replays exactly what executed.
   entry.sequence_number = history_.size();
+  // The base loss must come from the *durable* floor: a spilled requester's
+  // state faults in from the floor index here, before any accounting. A
+  // load failure withholds the answer — default-allow would let a crashed
+  // index erase budgets.
+  auto base_loss = history_.DurableCumulativeLoss(entry.requester);
+  if (!base_loss.ok()) {
+    persist_failed_.store(true);
+    metrics_.AddCounter("engine.persist_failures");
+    Logger::Error("mediator", "budget floor load failed, failing closed: " +
+                                  base_loss.status().ToString());
+    return Status::Unavailable(
+        "answer withheld (fail closed): the requester's durable budget floor "
+        "could not be loaded: " + base_loss.status().ToString());
+  }
   HistoryRecord record;
   record.cumulative_after =
-      history_.CumulativeLoss(entry.requester) +
-      (entry.released ? entry.aggregated_privacy_loss : 0.0);
+      *base_loss + (entry.released ? entry.aggregated_privacy_loss : 0.0);
   record.entry = entry;
   Status status = persist_->Append(static_cast<uint16_t>(RecordType::kHistoryEntry),
                                    EncodeHistoryRecord(record));
@@ -231,17 +300,12 @@ Status MediationEngine::RecordDurably(
     warehouse_.Put(fingerprint, std::move(warehouse_table), epoch());
   }
   if (options_.snapshot_every_records > 0 &&
-      ++records_since_snapshot_ >= options_.snapshot_every_records) {
-    const Status rotated = RotateSnapshotLocked();
-    if (!rotated.ok()) {
-      // The entry itself is durable in the current generation; a failed
-      // rotation means the disk is sick, so stop accepting work rather than
-      // find out how sick on a later answer.
-      persist_failed_.store(true);
-      metrics_.AddCounter("engine.persist_failures");
-      Logger::Error("mediator", "snapshot rotation failed, failing closed: " +
-                                    rotated.ToString());
-    }
+      ++records_since_snapshot_ >= options_.snapshot_every_records &&
+      snapshotter_ != nullptr) {
+    // Off the query path: the background snapshotter coalesces bursts and
+    // rotates when it next acquires persist_mu_. A rotation failure there
+    // trips the same fail-closed latch this path would have.
+    snapshotter_->Trigger();
   }
   return Status::OK();
 }
@@ -255,8 +319,13 @@ Status MediationEngine::Recover(const std::string& dir) {
     return Status::InvalidArgument(
         "Recover requires a fresh engine (non-empty history)");
   }
+  const auto recover_start = std::chrono::steady_clock::now();
   persist::StateLog::RecoveredState recovered;
   PIYE_ASSIGN_OR_RETURN(persist_, persist::StateLog::Open(dir, &recovered));
+  {
+    MutexLock index_lock(floor_index_mu_);
+    floor_index_ = recovered.floors;
+  }
 
   DurableState state;
   if (!recovered.snapshot.empty()) {
@@ -363,12 +432,57 @@ Status MediationEngine::Recover(const std::string& dir) {
     ++replayed;
   }
 
-  PIYE_RETURN_NOT_OK(history_.Restore(std::move(entries), floors));
+  // The entry ring can hold entries for a requester whose budget state was
+  // spilled before the snapshot was taken (the ring keeps the last N entries
+  // regardless of which requester states are resident). Restoring such a
+  // requester from its bounded, partial ring entries alone would resurrect
+  // it *below* its durable floor — and resident state shadows the floor
+  // index on every later budget decision. Raise every requester seen in the
+  // recovered entries to its indexed floor before Restore; an unreadable
+  // index entry refuses recovery (fail closed).
+  {
+    std::set<std::string> restored;
+    for (const auto& e : entries) restored.insert(e.requester);
+    for (const auto& requester : restored) {
+      auto indexed =
+          recovered.floors->Lookup(persist::FloorIndex::KeyFor(requester));
+      if (!indexed.ok()) {
+        persist_.reset();
+        return indexed.status();
+      }
+      if (indexed->has_value()) {
+        double& floor = floors[requester];
+        floor = std::max(floor, **indexed);
+      }
+    }
+  }
+
+  PIYE_RETURN_NOT_OK(
+      history_.Restore(std::move(entries), floors, state.total_history));
   epoch_.store(recovered_epoch, std::memory_order_relaxed);
   for (auto& [fingerprint, entry] : materialized) {
     warehouse_.Put(fingerprint, std::move(entry.table), entry.epoch);
   }
   PIYE_RETURN_NOT_OK(control_.Replay(cells, disclosures));
+  last_recovery_replay_ms_.store(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - recover_start)
+          .count()));
+
+  // Spilled requesters stay in the floor index; their first returning query
+  // faults the floor back in through this provider before any budget
+  // decision. The provider takes only the leaf floor_index_mu_, so it is
+  // safe to call both with and without persist_mu_ held.
+  history_.set_floor_provider(
+      [this](const std::string& requester) -> Result<std::optional<double>> {
+        std::shared_ptr<const persist::FloorIndex> index;
+        {
+          MutexLock index_lock(floor_index_mu_);
+          index = floor_index_;
+        }
+        if (index == nullptr) return std::optional<double>();
+        return index->Lookup(persist::FloorIndex::KeyFor(requester));
+      });
 
   persist_attached_.store(true);
   // Fold the recovered state into a fresh generation: a damaged tail is
@@ -384,6 +498,11 @@ Status MediationEngine::Recover(const std::string& dir) {
     return JournalLocked(RecordType::kDisclosure,
                          EncodeDisclosureRecord(event.disclosure));
   });
+
+  snapshotter_ = std::make_unique<persist::Snapshotter>(
+      persist::Snapshotter::Options{options_.snapshot_min_interval_ms},
+      [this] { return RotateSnapshotBackground(); });
+  snapshotter_->Start();
 
   metrics_.AddCounter("engine.recoveries");
   if (!replay_clean) {
@@ -408,6 +527,34 @@ Status MediationEngine::ArmPersistKillPoint(persist::KillPoint kill_point,
   }
   persist_->wal()->ArmKillPoint(kill_point, after_appends);
   return Status::OK();
+}
+
+Status MediationEngine::ArmRotateKillPoint(persist::RotateKillPoint kill_point) {
+  MutexLock lock(persist_mu_);
+  if (persist_ == nullptr) {
+    return Status::InvalidArgument(
+        "ArmRotateKillPoint: no persistence attached (call Recover first)");
+  }
+  persist_->ArmRotateKillPoint(kill_point);
+  return Status::OK();
+}
+
+Status MediationEngine::TriggerSnapshot(bool wait) {
+  persist::Snapshotter* snapshotter = nullptr;
+  {
+    MutexLock lock(persist_mu_);
+    if (persist_ == nullptr) {
+      return Status::InvalidArgument(
+          "TriggerSnapshot: no persistence attached (call Recover first)");
+    }
+    snapshotter = snapshotter_.get();
+  }
+  if (persist_failed_.load()) return FailClosedStatus();
+  if (!wait) {
+    snapshotter->Trigger();
+    return Status::OK();
+  }
+  return snapshotter->TriggerAndWait();
 }
 
 void MediationEngine::AdvanceEpoch() {
@@ -437,7 +584,31 @@ MediationEngine::HealthReport MediationEngine::Health() const {
   {
     MutexLock lock(persist_mu_);
     report.persistence_enabled = persist_ != nullptr;
-    if (persist_ != nullptr) report.wal_generation = persist_->generation();
+    if (persist_ != nullptr) {
+      report.wal_generation = persist_->generation();
+      report.wal_live_bytes = persist_->wal()->synced_bytes();
+      report.records_since_snapshot = records_since_snapshot_;
+    }
+  }
+  report.snapshots_total = snapshots_total_.load();
+  report.last_snapshot_duration_ms = last_snapshot_duration_ms_.load();
+  const uint64_t snapshot_done_ns = last_snapshot_done_ns_.load();
+  if (snapshot_done_ns != 0) {
+    const uint64_t now_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    report.last_snapshot_age_ms =
+        now_ns >= snapshot_done_ns ? (now_ns - snapshot_done_ns) / 1000000 : 0;
+  }
+  report.last_recovery_replay_ms = last_recovery_replay_ms_.load();
+  report.resident_requesters = history_.resident_requesters();
+  report.spilled_requesters_total = history_.spilled_total();
+  {
+    MutexLock index_lock(floor_index_mu_);
+    if (floor_index_ != nullptr) {
+      report.floor_index_requesters = floor_index_->count();
+    }
   }
   report.sources_total = sources_.size();
   for (const auto* src : sources_) {
@@ -682,9 +853,18 @@ Result<MediationEngine::IntegratedResult> MediationEngine::ExecuteUncoalesced(
     }
   }
 
-  // Sequence-level budget for the requester.
-  if (history_.CumulativeLoss(effective_query->requester) >=
-      options_.max_cumulative_loss) {
+  // Sequence-level budget for the requester, against the *durable* floor: a
+  // spilled requester's first returning query faults its floor back in here,
+  // before any admission or budget decision. Fail closed — a floor that
+  // cannot be loaded refuses the query rather than defaulting to a fresh
+  // budget.
+  auto cumulative = history_.DurableCumulativeLoss(effective_query->requester);
+  if (!cumulative.ok()) {
+    return Status::Unavailable(
+        "refusing query: the requester's durable budget floor could not be "
+        "loaded (fail closed): " + cumulative.status().ToString());
+  }
+  if (*cumulative >= options_.max_cumulative_loss) {
     return Status::PrivacyViolation("requester '" + effective_query->requester +
                                     "' has exhausted the cumulative loss budget");
   }

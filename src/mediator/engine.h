@@ -23,6 +23,8 @@
 #include "mediator/query_options.h"
 #include "mediator/result_integrator.h"
 #include "mediator/warehouse.h"
+#include "persist/floor_index.h"
+#include "persist/snapshotter.h"
 #include "persist/state_log.h"
 #include "persist/wal.h"
 #include "source/federated_source.h"
@@ -122,12 +124,27 @@ class MediationEngine {
     AdmissionConfig admission;
     /// Durable mode: history records appended between snapshot rotations
     /// (smaller ⇒ faster recovery, more snapshot I/O). 0 ⇒ snapshot only
-    /// during Recover.
+    /// during Recover. Crossing the threshold *triggers* the background
+    /// snapshotter; the rotation itself runs off the query path.
     uint64_t snapshot_every_records = 256;
     /// fsync the WAL before releasing each answer. Turning this off keeps
     /// the WAL ordering but trades the power-failure guarantee for latency
     /// (the recovery benchmark measures both).
     bool sync_wal = true;
+    /// Bounded-state knobs. Per-requester budget state lives in
+    /// `history_shards` independently locked shards; the in-memory history
+    /// ring keeps at most `max_resident_history` entries (sequence numbers
+    /// and `history()->size()` keep counting past it; 0 = unbounded); after
+    /// each snapshot rotation, cold requesters beyond `hot_requesters` are
+    /// spilled to the generation's durable floor index and faulted back in
+    /// on their next query (0 = never spill). The defaults keep small
+    /// deployments entirely resident.
+    size_t history_shards = 16;
+    size_t max_resident_history = 4096;
+    size_t hot_requesters = 65536;
+    /// Rate limit between background snapshot rotations (milliseconds
+    /// between rotation starts; 0 = unlimited).
+    uint64_t snapshot_min_interval_ms = 0;
   };
 
   explicit MediationEngine(Options options);
@@ -167,6 +184,20 @@ class MediationEngine {
   /// unless persistence is attached.
   Status ArmPersistKillPoint(persist::KillPoint kill_point,
                              uint64_t after_appends = 0);
+
+  /// Crash-injection harness for the compact/rotate sequence: arms a
+  /// one-shot kill inside the next snapshot rotation (see
+  /// persist::RotateKillPoint). The failed rotation latches the same
+  /// fail-closed refusal as a WAL append failure. Fails unless persistence
+  /// is attached.
+  Status ArmRotateKillPoint(persist::RotateKillPoint kill_point);
+
+  /// Requests a snapshot rotation through the background snapshotter (the
+  /// one blessed manual-snapshot path; direct StateLog rotation is flagged
+  /// by piye_lint). With `wait`, blocks until a rotation that started after
+  /// this call completes and returns its status; otherwise returns OK
+  /// immediately after scheduling. Fails unless persistence is attached.
+  Status TriggerSnapshot(bool wait = true);
 
   /// Advances the logical clock (fresh epoch ⇒ warehouse entries age).
   /// Journaled when persistence is attached.
@@ -245,6 +276,23 @@ class MediationEngine {
     uint64_t admitted_total = 0;
     uint64_t shed_total = 0;
     uint64_t cancelled_total = 0;
+    /// Durability-state gauges (all zero / "never" without persistence):
+    /// what an operator watches to see compaction actually bounding growth.
+    uint64_t wal_live_bytes = 0;          ///< durable bytes in the live WAL
+    uint64_t records_since_snapshot = 0;  ///< WAL records since last rotation
+    uint64_t snapshots_total = 0;         ///< completed rotations (lifetime)
+    /// Milliseconds since / duration of the last completed rotation;
+    /// age is UINT64_MAX when none ever completed.
+    uint64_t last_snapshot_age_ms = UINT64_MAX;
+    uint64_t last_snapshot_duration_ms = 0;
+    /// Milliseconds Recover spent loading the snapshot + replaying the WAL.
+    uint64_t last_recovery_replay_ms = 0;
+    /// The hot set vs. the spill store: requesters with resident budget
+    /// state, requesters in the durable floor index (spilled requesters are
+    /// index-only), and lifetime spill evictions.
+    size_t resident_requesters = 0;
+    uint64_t floor_index_requesters = 0;
+    uint64_t spilled_requesters_total = 0;
   };
   HealthReport Health() const;
 
@@ -303,9 +351,17 @@ class MediationEngine {
   Status JournalLocked(RecordType type, const std::string& payload)
       REQUIRES(persist_mu_);
 
-  /// Snapshot of the full in-memory trust anchor into the next generation.
+  /// Compacts the trust anchor into the next generation: folds the dirty
+  /// budget floors into the floor index, snapshots the resident state,
+  /// rotates the WAL, then marks floors clean, republishes the floor index
+  /// for fault-ins, and spills cold requesters down to `hot_requesters`.
   /// Caller must hold persist_mu_.
   Status RotateSnapshotLocked() REQUIRES(persist_mu_);
+
+  /// The snapshotter worker's entry point: takes persist_mu_, runs
+  /// RotateSnapshotLocked, and latches fail-closed on any rotation failure
+  /// (the same latch a WAL append failure trips).
+  Status RotateSnapshotBackground();
 
   Status FailClosedStatus() const;
 
@@ -342,10 +398,30 @@ class MediationEngine {
   std::atomic<bool> persist_failed_{false};
   uint64_t records_since_snapshot_ GUARDED_BY(persist_mu_) = 0;
 
+  /// The current generation's floor index, republished after every
+  /// rotation. A *leaf* lock: the history's fault-in provider copies the
+  /// handle under floor_index_mu_ only — it must never touch persist_mu_,
+  /// because fault-ins run both with and without persist_mu_ held.
+  mutable Mutex floor_index_mu_;
+  std::shared_ptr<const persist::FloorIndex> floor_index_
+      GUARDED_BY(floor_index_mu_);
+
+  /// Durability observability (Health): wall-clock-free timestamps as
+  /// steady_clock nanosecond counts (0 = never).
+  std::atomic<uint64_t> last_snapshot_done_ns_{0};
+  std::atomic<uint64_t> last_snapshot_duration_ms_{0};
+  std::atomic<uint64_t> last_recovery_replay_ms_{0};
+  std::atomic<uint64_t> snapshots_total_{0};
+
   /// Declared last: destroyed (joined) first, so in-flight fragment tasks
   /// finish before any other engine state is torn down. Null when
   /// options_.worker_threads == 0 (serial mode).
   std::unique_ptr<Executor> executor_;
+
+  /// Declared after executor_ so it is stopped (worker joined) before
+  /// anything else is torn down: its rotate callback touches persist_,
+  /// history_, warehouse_, and control_. Created by Recover.
+  std::unique_ptr<persist::Snapshotter> snapshotter_;
 };
 
 }  // namespace mediator

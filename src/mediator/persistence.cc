@@ -20,6 +20,12 @@ using persist::Encoder;
 /// (fail closed), never a silent misread.
 constexpr uint8_t kVersion = 1;
 
+/// Snapshot layout version. v2 added `total_history` (the logical entry
+/// count, so compaction can drop ring entries without forgetting how many
+/// queries the mediator has answered); v1 snapshots still decode. WAL
+/// record payloads keep their own `kVersion` above.
+constexpr uint8_t kSnapshotVersion = 2;
+
 Status CheckVersion(Decoder& dec) {
   PIYE_ASSIGN_OR_RETURN(uint8_t version, dec.GetU8());
   if (version != kVersion) {
@@ -197,7 +203,8 @@ Result<PrivacyControl::DisclosureSpec> DecodeDisclosureRecord(
 
 std::string EncodeSnapshot(const DurableState& state) {
   Encoder enc;
-  enc.PutU8(kVersion);
+  enc.PutU8(kSnapshotVersion);
+  enc.PutU64(state.total_history);
   enc.PutU64(state.history.size());
   for (const auto& e : state.history) PutHistoryEntry(enc, e);
   enc.PutU64(state.cumulative_loss.size());
@@ -221,8 +228,16 @@ std::string EncodeSnapshot(const DurableState& state) {
 
 Result<DurableState> DecodeSnapshot(const std::string& blob) {
   Decoder dec(blob);
-  PIYE_RETURN_NOT_OK(CheckVersion(dec));
+  PIYE_ASSIGN_OR_RETURN(uint8_t version, dec.GetU8());
+  if (version != kSnapshotVersion && version != 1) {
+    return Status::ParseError("persisted snapshot version " +
+                              std::to_string(version) + " != expected " +
+                              std::to_string(kSnapshotVersion));
+  }
   DurableState state;
+  if (version >= 2) {
+    PIYE_ASSIGN_OR_RETURN(state.total_history, dec.GetU64());
+  }
   PIYE_ASSIGN_OR_RETURN(uint64_t history_count, dec.GetU64());
   for (uint64_t i = 0; i < history_count; ++i) {
     PIYE_ASSIGN_OR_RETURN(HistoryEntry e, GetHistoryEntry(dec));

@@ -60,9 +60,16 @@ Result<PrivacyControl::DisclosureSpec> DecodeDisclosureRecord(
     const std::string& payload);
 
 /// Everything a snapshot captures — the engine's whole trust-anchor state.
+///
+/// Since compaction, `history` is the *resident tail* of the log (the
+/// bounded ring) and `cumulative_loss` the *resident* requesters' floors;
+/// spilled requesters live in the generation's FloorIndex instead.
+/// `total_history` preserves the logical entry count across compactions
+/// that dropped old entries from the ring.
 struct DurableState {
   std::vector<HistoryEntry> history;
   std::map<std::string, double> cumulative_loss;
+  uint64_t total_history = 0;  ///< logical entries ever recorded
   uint64_t epoch = 0;
   std::vector<Warehouse::SnapshotEntry> warehouse;
   std::vector<PrivacyControl::SensitiveCellSpec> cells;

@@ -1,0 +1,251 @@
+#include "persist/floor_index.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/macros.h"
+#include "persist/codec.h"
+
+namespace piye {
+namespace persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[] = "PIYEFLR1";
+constexpr size_t kMagicLen = 8;
+constexpr size_t kHeaderLen = kMagicLen + 4 + 8;  // magic | u32 crc | u64 count
+constexpr size_t kRecordLen = 16;                 // u64 key | f64 floor
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+Status PreadAll(int fd, char* buf, size_t len, uint64_t off) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pread(fd, buf + done, len - done,
+                        static_cast<off_t>(off + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("floor index pread"));
+    }
+    if (n == 0) return Status::Internal("floor index pread: unexpected EOF");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Decodes the 16-byte record at index `i` of the body.
+Status ReadRecord(int fd, uint64_t i, uint64_t* key, double* floor) {
+  char buf[kRecordLen];
+  PIYE_RETURN_NOT_OK(PreadAll(fd, buf, kRecordLen, kHeaderLen + i * kRecordLen));
+  Decoder dec(std::string_view(buf, kRecordLen));
+  *key = *dec.GetU64();
+  *floor = *dec.GetDouble();
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t FloorIndex::KeyFor(std::string_view requester) {
+  // FNV-1a 64: the same placement hash family the sharded stores use.
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : requester) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::shared_ptr<const FloorIndex> FloorIndex::Empty() {
+  return std::shared_ptr<const FloorIndex>(new FloorIndex(-1, 0));
+}
+
+FloorIndex::~FloorIndex() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::shared_ptr<const FloorIndex>> FloorIndex::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal(Errno("floor index open '" + path + "'"));
+  }
+  auto fail = [fd, &path](std::string detail) -> Status {
+    ::close(fd);
+    return Status::ParseError("floor index '" + path + "': " + detail);
+  };
+
+  char header[kHeaderLen];
+  Status st = PreadAll(fd, header, kHeaderLen, 0);
+  if (!st.ok()) return fail("truncated header (" + st.message() + ")");
+  if (std::memcmp(header, kMagic, kMagicLen) != 0) return fail("bad magic");
+  Decoder head(std::string_view(header + kMagicLen, kHeaderLen - kMagicLen));
+  const uint32_t crc = *head.GetU32();
+  const uint64_t count = *head.GetU64();
+
+  std::error_code ec;
+  const uint64_t file_size = fs::file_size(path, ec);
+  if (ec || file_size != kHeaderLen + count * kRecordLen) {
+    return fail("length mismatch");
+  }
+
+  // Validate the checksum with one streaming pass. The body is read into a
+  // transient buffer only here — the steady-state index keeps just the fd.
+  std::string body;
+  body.resize(count * kRecordLen);
+  if (!body.empty()) {
+    st = PreadAll(fd, body.data(), body.size(), kHeaderLen);
+    if (!st.ok()) return fail(st.message());
+  }
+  if (Crc32(body) != crc) return fail("checksum mismatch");
+  // Order check: a disordered body would silently break the binary search,
+  // so it is corruption like any other.
+  uint64_t prev_key = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    Decoder rec(std::string_view(body).substr(i * kRecordLen, 8));
+    const uint64_t key = *rec.GetU64();
+    if (i > 0 && key <= prev_key) return fail("keys not sorted");
+    prev_key = key;
+  }
+
+  return std::shared_ptr<const FloorIndex>(new FloorIndex(fd, count));
+}
+
+Result<std::optional<double>> FloorIndex::Lookup(uint64_t key) const {
+  if (fd_ < 0 || count_ == 0) return std::optional<double>();
+  uint64_t lo = 0;
+  uint64_t hi = count_;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    uint64_t mid_key = 0;
+    double floor = 0.0;
+    PIYE_RETURN_NOT_OK(ReadRecord(fd_, mid, &mid_key, &floor));
+    if (mid_key == key) return std::optional<double>(floor);
+    if (mid_key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::optional<double>();
+}
+
+Status FloorIndex::ScanAll(
+    const std::function<void(uint64_t, double)>& fn) const {
+  if (fd_ < 0) return Status::OK();
+  constexpr uint64_t kChunkRecords = 4096;
+  std::string buf;
+  for (uint64_t i = 0; i < count_; i += kChunkRecords) {
+    const uint64_t n = std::min(kChunkRecords, count_ - i);
+    buf.resize(n * kRecordLen);
+    PIYE_RETURN_NOT_OK(
+        PreadAll(fd_, buf.data(), buf.size(), kHeaderLen + i * kRecordLen));
+    for (uint64_t j = 0; j < n; ++j) {
+      Decoder dec(std::string_view(buf).substr(j * kRecordLen, kRecordLen));
+      const uint64_t key = *dec.GetU64();
+      const double floor = *dec.GetDouble();
+      fn(key, floor);
+    }
+  }
+  return Status::OK();
+}
+
+Status FloorIndex::WriteMerged(const FloorIndex* prior,
+                               std::vector<std::pair<uint64_t, double>> dirty,
+                               const std::string& out_path) {
+  // Collapse duplicate dirty keys to their max, then sort for the merge.
+  std::sort(dirty.begin(), dirty.end());
+  std::vector<std::pair<uint64_t, double>> merged_dirty;
+  merged_dirty.reserve(dirty.size());
+  for (const auto& [key, floor] : dirty) {
+    if (!merged_dirty.empty() && merged_dirty.back().first == key) {
+      merged_dirty.back().second = std::max(merged_dirty.back().second, floor);
+    } else {
+      merged_dirty.emplace_back(key, floor);
+    }
+  }
+
+  // Merge-stream prior ∪ dirty into the body, max on equal keys. The prior
+  // index is already sorted, so this is a single linear pass.
+  Encoder body;
+  size_t di = 0;
+  auto emit = [&body](uint64_t key, double floor) {
+    body.PutU64(key);
+    body.PutDouble(floor);
+  };
+  uint64_t emitted = 0;
+  Status scan = Status::OK();
+  if (prior != nullptr) {
+    scan = prior->ScanAll([&](uint64_t key, double floor) {
+      while (di < merged_dirty.size() && merged_dirty[di].first < key) {
+        emit(merged_dirty[di].first, merged_dirty[di].second);
+        ++emitted;
+        ++di;
+      }
+      if (di < merged_dirty.size() && merged_dirty[di].first == key) {
+        floor = std::max(floor, merged_dirty[di].second);
+        ++di;
+      }
+      emit(key, floor);
+      ++emitted;
+    });
+  }
+  PIYE_RETURN_NOT_OK(scan);
+  for (; di < merged_dirty.size(); ++di) {
+    emit(merged_dirty[di].first, merged_dirty[di].second);
+    ++emitted;
+  }
+
+  Encoder head;
+  head.PutU32(Crc32(body.bytes()));
+  head.PutU64(emitted);
+  std::string bytes = std::string(kMagic, kMagicLen) + head.Take() + body.Take();
+
+  // Same atomic-publish discipline as snapshots: tmp, fsync, rename,
+  // best-effort directory fsync.
+  const std::string tmp = out_path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal(Errno("floor index create '" + tmp + "'"));
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Internal(Errno("floor index write '" + tmp + "'"));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::Internal(Errno("floor index fsync '" + tmp + "'"));
+  }
+  ::close(fd);
+  std::error_code ec;
+  fs::rename(tmp, out_path, ec);
+  if (ec) {
+    return Status::Internal("floor index rename '" + tmp + "': " + ec.message());
+  }
+  const std::string dir = fs::path(out_path).parent_path().string();
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    // Best effort, matching WriteSnapshotFile: an unfsyncable directory
+    // still leaves the renamed index itself durable.
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+}  // namespace persist
+}  // namespace piye

@@ -1,0 +1,91 @@
+#ifndef PIYE_PERSIST_FLOOR_INDEX_H_
+#define PIYE_PERSIST_FLOOR_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace piye {
+namespace persist {
+
+/// Durable per-requester budget floors: one sorted, checksummed file per
+/// StateLog generation (`<dir>/floors-<g>`).
+///
+/// The floor index is what makes cold-requester spill safe. A requester whose
+/// in-memory budget state was evicted still has its cumulative privacy loss
+/// recorded here, so its first returning query faults the floor back in
+/// *before* any admission or budget decision — and a floor that cannot be
+/// loaded refuses the query (fail closed), it never defaults to a fresh
+/// budget.
+///
+/// File layout (all little-endian, via persist::codec):
+///
+///   "PIYEFLR1" | u32 crc(body) | u64 count | body
+///   body = count × (u64 requester-key, f64 floor), sorted by key ascending
+///
+/// Requester names are mapped to fixed 8-byte keys with FNV-1a (`KeyFor`).
+/// Two distinct requesters hashing to the same key share one floor slot and
+/// writers keep the *max* of the colliding floors: a collision can only make
+/// the system refuse earlier, never release more (fail closed, ~1e-8
+/// probability at a million requesters).
+///
+/// An open index is immutable; `Lookup` binary-searches the file with `pread`
+/// and is safe to call from any number of threads concurrently. Steady-state
+/// memory is one file descriptor regardless of how many requesters the
+/// mediator has ever seen — the index is read back record-by-record, not
+/// loaded into a map.
+class FloorIndex {
+ public:
+  /// Stable 8-byte key for a requester name (FNV-1a 64).
+  static uint64_t KeyFor(std::string_view requester);
+
+  /// Opens and CRC-validates `path`. The validation pass streams the whole
+  /// file once (recovery-time cost proportional to index size); after it the
+  /// index holds only the descriptor. A missing file is an error — callers
+  /// that treat "absent" as "empty" should check existence and use `Empty`.
+  static Result<std::shared_ptr<const FloorIndex>> Open(const std::string& path);
+
+  /// An index with no entries (every lookup misses). Never touches the disk.
+  static std::shared_ptr<const FloorIndex> Empty();
+
+  /// Merges `prior` (nullable) with `dirty` floors and writes the result to
+  /// `out_path` with the snapshot discipline: tmp file, fsync, rename,
+  /// best-effort directory fsync. Equal keys keep the maximum floor, so a
+  /// merge can only raise budgets, never lower them. `dirty` need not be
+  /// sorted or deduplicated.
+  static Status WriteMerged(const FloorIndex* prior,
+                            std::vector<std::pair<uint64_t, double>> dirty,
+                            const std::string& out_path);
+
+  /// The durable floor for `key`, or nullopt when the requester has never
+  /// been folded into this index. An I/O failure is a Status — callers must
+  /// refuse on it, not treat it as a miss.
+  Result<std::optional<double>> Lookup(uint64_t key) const;
+
+  /// Streams every (key, floor) record in key order. Used by merges.
+  Status ScanAll(const std::function<void(uint64_t, double)>& fn) const;
+
+  uint64_t count() const { return count_; }
+
+  FloorIndex(const FloorIndex&) = delete;
+  FloorIndex& operator=(const FloorIndex&) = delete;
+  ~FloorIndex();
+
+ private:
+  FloorIndex(int fd, uint64_t count) : fd_(fd), count_(count) {}
+
+  int fd_;          ///< -1 for the empty index
+  uint64_t count_;  ///< number of 16-byte records in the body
+};
+
+}  // namespace persist
+}  // namespace piye
+
+#endif  // PIYE_PERSIST_FLOOR_INDEX_H_

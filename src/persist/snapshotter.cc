@@ -1,0 +1,119 @@
+#include "persist/snapshotter.h"
+
+#include <utility>
+
+namespace piye {
+namespace persist {
+
+using Clock = std::chrono::steady_clock;
+
+Snapshotter::Snapshotter(Options options, RotateFn rotate)
+    : options_(options), rotate_(std::move(rotate)) {}
+
+Snapshotter::~Snapshotter() { Stop(); }
+
+void Snapshotter::Start() {
+  MutexLock lock(mu_);
+  if (started_) return;
+  started_ = true;
+  // piye-lint: allow(raw-thread) see the member declaration: joined in Stop.
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Snapshotter::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (!started_) return;
+    cancel_.RequestCancel(Status::Cancelled("snapshotter stopped"));
+    cv_.NotifyAll();
+  }
+  thread_.join();
+  MutexLock lock(mu_);
+  started_ = false;
+  // Wake TriggerAndWait callers so they observe the cancel instead of
+  // waiting for a rotation that will never run.
+  cv_.NotifyAll();
+}
+
+void Snapshotter::Trigger() {
+  MutexLock lock(mu_);
+  ++request_seq_;
+  pending_ = true;
+  cv_.NotifyAll();
+}
+
+Status Snapshotter::TriggerAndWait() {
+  MutexLock lock(mu_);
+  if (!started_ || cancel_.cancel_requested()) {
+    return Status::Cancelled("snapshotter is not running");
+  }
+  const uint64_t my_req = ++request_seq_;
+  pending_ = true;
+  cv_.NotifyAll();
+  while (satisfied_seq_ < my_req && !cancel_.cancel_requested()) {
+    cv_.Wait(lock);
+  }
+  if (satisfied_seq_ < my_req) {
+    return Status::Cancelled("snapshotter stopped before the rotation ran");
+  }
+  return last_status_;
+}
+
+Snapshotter::Stats Snapshotter::stats() const {
+  MutexLock lock(mu_);
+  Stats s;
+  s.rotations = rotations_;
+  s.failures = failures_;
+  s.last_duration_ms = last_duration_ms_;
+  s.last_ok = last_status_.ok();
+  if (ever_rotated_) {
+    s.ms_since_last_rotation = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              last_done_)
+            .count());
+  }
+  return s;
+}
+
+void Snapshotter::Run() {
+  const CancelToken cancel = cancel_.token();
+  for (;;) {
+    uint64_t batch = 0;
+    {
+      MutexLock lock(mu_);
+      while (!cancel.cancelled() && !pending_) cv_.Wait(lock);
+      if (cancel.cancelled()) return;
+      // Rate limit: back-to-back triggers coalesce until the interval since
+      // the last rotation start has elapsed. Stop() wakes this wait too.
+      while (!cancel.cancelled() && Clock::now() < next_allowed_) {
+        // cv_status carries no information the loop condition doesn't.
+        (void)cv_.WaitUntil(lock, next_allowed_);
+      }
+      if (cancel.cancelled()) return;
+      pending_ = false;
+      batch = request_seq_;
+    }
+
+    const Clock::time_point start = Clock::now();
+    // Outside the lock: the callback takes the engine's persistence mutex,
+    // and query threads holding it must be able to Trigger without blocking.
+    Status status = rotate_();
+    const Clock::time_point end = Clock::now();
+
+    MutexLock lock(mu_);
+    ++rotations_;
+    if (!status.ok()) ++failures_;
+    last_status_ = std::move(status);
+    last_duration_ms_ = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(end - start)
+            .count());
+    last_done_ = end;
+    ever_rotated_ = true;
+    next_allowed_ = start + std::chrono::milliseconds(options_.min_interval_ms);
+    if (batch > satisfied_seq_) satisfied_seq_ = batch;
+    cv_.NotifyAll();
+  }
+}
+
+}  // namespace persist
+}  // namespace piye

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/macros.h"
@@ -28,6 +29,10 @@ std::string SnapshotPath(const std::string& dir, uint64_t gen) {
 
 std::string WalPath(const std::string& dir, uint64_t gen) {
   return dir + "/wal-" + std::to_string(gen);
+}
+
+std::string FloorsPath(const std::string& dir, uint64_t gen) {
+  return dir + "/floors-" + std::to_string(gen);
 }
 
 /// Parses "<prefix>-<gen>" names; returns false for anything else.
@@ -80,7 +85,9 @@ Result<std::string> ReadSnapshotFile(const std::string& path) {
   return std::string(blob);
 }
 
-Status WriteSnapshotFile(const std::string& path, std::string_view blob) {
+/// Writes `path + ".tmp"` with the framed blob and fsyncs it. The snapshot
+/// does not exist (for recovery) until `PublishSnapshotTmp` renames it.
+Status WriteSnapshotTmp(const std::string& path, std::string_view blob) {
   const std::string tmp = path + ".tmp";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
@@ -106,12 +113,18 @@ Status WriteSnapshotFile(const std::string& path, std::string_view blob) {
     return Status::Internal("snapshot fsync '" + tmp + "': " + std::strerror(errno));
   }
   ::close(fd);
+  return Status::OK();
+}
+
+/// Atomically publishes `path + ".tmp"` as `path` and makes the rename
+/// itself durable (best-effort directory fsync).
+Status PublishSnapshotTmp(const std::string& path) {
+  const std::string tmp = path + ".tmp";
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
     return Status::Internal("snapshot rename '" + tmp + "': " + ec.message());
   }
-  // Make the rename itself durable.
   const std::string dir = fs::path(path).parent_path().string();
   int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (dfd >= 0) {
@@ -123,8 +136,8 @@ Status WriteSnapshotFile(const std::string& path, std::string_view blob) {
   return Status::OK();
 }
 
-/// Removes every snapshot/wal file of a generation other than `keep`, plus
-/// stray .tmp files. Best-effort: GC failure never fails recovery.
+/// Removes every snapshot/wal/floors file of a generation other than `keep`,
+/// plus stray .tmp files. Best-effort: GC failure never fails recovery.
 void GarbageCollect(const std::string& dir, uint64_t keep) {
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
@@ -132,8 +145,9 @@ void GarbageCollect(const std::string& dir, uint64_t keep) {
     uint64_t gen = 0;
     const bool is_snap = ParseGen(name, "snapshot", &gen);
     const bool is_wal = !is_snap && ParseGen(name, "wal", &gen);
+    const bool is_floors = !is_snap && !is_wal && ParseGen(name, "floors", &gen);
     const bool is_tmp = name.size() > 4 && name.rfind(".tmp") == name.size() - 4;
-    if (is_tmp || ((is_snap || is_wal) && gen != keep)) {
+    if (is_tmp || ((is_snap || is_wal || is_floors) && gen != keep)) {
       std::error_code rm_ec;
       fs::remove(entry.path(), rm_ec);
     }
@@ -141,6 +155,19 @@ void GarbageCollect(const std::string& dir, uint64_t keep) {
 }
 
 }  // namespace
+
+const char* RotateKillPointName(RotateKillPoint kp) {
+  switch (kp) {
+    case RotateKillPoint::kNone: return "none";
+    case RotateKillPoint::kBeforeFloors: return "rotate-before-floors";
+    case RotateKillPoint::kAfterFloors: return "rotate-after-floors";
+    case RotateKillPoint::kAfterSnapshotTmp: return "rotate-after-snapshot-tmp";
+    case RotateKillPoint::kAfterSnapshotRename:
+      return "rotate-after-snapshot-rename";
+    case RotateKillPoint::kAfterNewWal: return "rotate-after-new-wal";
+  }
+  return "unknown";
+}
 
 Result<std::unique_ptr<StateLog>> StateLog::Open(const std::string& dir,
                                                  RecoveredState* recovered) {
@@ -168,6 +195,7 @@ Result<std::unique_ptr<StateLog>> StateLog::Open(const std::string& dir,
   uint64_t chosen = 0;
   for (uint64_t gen : gens) {
     std::string snapshot;
+    std::shared_ptr<const FloorIndex> floors = FloorIndex::Empty();
     if (gen > 0) {
       auto blob = ReadSnapshotFile(SnapshotPath(dir, gen));
       if (!blob.ok()) {
@@ -180,16 +208,35 @@ Result<std::unique_ptr<StateLog>> StateLog::Open(const std::string& dir,
         continue;
       }
       snapshot = std::move(*blob);
+      // The floor index carries spilled requesters' budgets; a generation
+      // whose floors are corrupt cannot anchor recovery either (a missing
+      // file is fine — generations written before floor indexes existed
+      // simply had no spilled requesters).
+      const std::string floors_path = FloorsPath(dir, gen);
+      std::error_code exists_ec;
+      if (fs::exists(floors_path, exists_ec)) {
+        auto index = FloorIndex::Open(floors_path);
+        if (!index.ok()) {
+          Logger::Warn("persist", "generation " + std::to_string(gen) +
+                                      " unusable (" +
+                                      index.status().ToString() +
+                                      "); falling back");
+          continue;
+        }
+        floors = std::move(*index);
+      }
     }
     PIYE_ASSIGN_OR_RETURN(WalReadResult wal, ReadWal(WalPath(dir, gen)));
     state.snapshot = std::move(snapshot);
     state.records = std::move(wal.records);
+    state.floors = floors;
     state.wal_clean = wal.clean;
     state.tail_detail = wal.tail_detail;
     state.generation = gen;
     chosen = gen;
     break;
   }
+  if (state.floors == nullptr) state.floors = FloorIndex::Empty();
   if (!state.wal_clean) {
     Logger::Warn("persist", "recovery at generation " + std::to_string(chosen) +
                                 " discarded a damaged WAL tail: " +
@@ -199,16 +246,57 @@ Result<std::unique_ptr<StateLog>> StateLog::Open(const std::string& dir,
   GarbageCollect(dir, chosen);
   PIYE_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> wal,
                         WalWriter::Open(WalPath(dir, chosen)));
+  std::shared_ptr<const FloorIndex> floors = state.floors;
   if (recovered != nullptr) *recovered = std::move(state);
-  return std::unique_ptr<StateLog>(new StateLog(dir, chosen, std::move(wal)));
+  return std::unique_ptr<StateLog>(
+      new StateLog(dir, chosen, std::move(wal), std::move(floors)));
 }
 
-Status StateLog::Rotate(std::string_view snapshot_blob) {
+Status StateLog::MaybeKill(RotateKillPoint kp) {
+  if (rotate_kill_ != kp) return Status::OK();
+  rotate_kill_ = RotateKillPoint::kNone;
+  dead_ = true;
+  return Status::Unavailable("state log crashed (injected " +
+                             std::string(RotateKillPointName(kp)) + ")");
+}
+
+Status StateLog::Rotate(std::string_view snapshot_blob,
+                        const std::map<std::string, double>& dirty_floors) {
+  if (dead_) return Status::Unavailable("state log crashed (injected kill)");
   const uint64_t next = gen_ + 1;
-  PIYE_RETURN_NOT_OK(WriteSnapshotFile(SnapshotPath(dir_, next), snapshot_blob));
+  PIYE_RETURN_NOT_OK(MaybeKill(RotateKillPoint::kBeforeFloors));
+
+  // (1) Fold the dirty floors into the next generation's floor index. The
+  // floors must be durable *before* the snapshot rename commits generation
+  // `next`: once recovery can choose `next`, every spilled requester's
+  // budget has to be findable in floors-<next>. (An orphaned floors file
+  // from a crash after this step is harmless — GC removes it, and the old
+  // generation's WAL still holds the records it was folding.)
+  std::vector<std::pair<uint64_t, double>> dirty;
+  dirty.reserve(dirty_floors.size());
+  for (const auto& [requester, floor] : dirty_floors) {
+    dirty.emplace_back(FloorIndex::KeyFor(requester), floor);
+  }
+  PIYE_RETURN_NOT_OK(FloorIndex::WriteMerged(floors_.get(), std::move(dirty),
+                                             FloorsPath(dir_, next)));
+  PIYE_RETURN_NOT_OK(MaybeKill(RotateKillPoint::kAfterFloors));
+
+  // (2) Write and publish the snapshot — the rename is the commit point of
+  // the compaction.
+  PIYE_RETURN_NOT_OK(WriteSnapshotTmp(SnapshotPath(dir_, next), snapshot_blob));
+  PIYE_RETURN_NOT_OK(MaybeKill(RotateKillPoint::kAfterSnapshotTmp));
+  PIYE_RETURN_NOT_OK(PublishSnapshotTmp(SnapshotPath(dir_, next)));
+  PIYE_RETURN_NOT_OK(MaybeKill(RotateKillPoint::kAfterSnapshotRename));
+
+  // (3) Fresh WAL for the new generation, then drop everything the snapshot
+  // and floor index made redundant.
   PIYE_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> wal,
                         WalWriter::Open(WalPath(dir_, next)));
+  PIYE_RETURN_NOT_OK(MaybeKill(RotateKillPoint::kAfterNewWal));
+  PIYE_ASSIGN_OR_RETURN(std::shared_ptr<const FloorIndex> floors,
+                        FloorIndex::Open(FloorsPath(dir_, next)));
   wal_ = std::move(wal);
+  floors_ = std::move(floors);
   gen_ = next;
   GarbageCollect(dir_, gen_);
   return Status::OK();

@@ -52,6 +52,19 @@ TEST_F(RbacTest, EffectiveRoles) {
   EXPECT_TRUE(db_.EffectiveRoles("stranger").empty());
 }
 
+TEST_F(RbacTest, WildcardUserAssignsRoleToEveryone) {
+  // Assigning a role to the user "*" makes every requester — including names
+  // never mentioned before — hold it, without a per-user assignment row.
+  ASSERT_TRUE(db_.AssignRole("*", "staff").ok());
+  EXPECT_TRUE(db_.IsAuthorized("carol", Action::kSelect, "patients", "name"));
+  EXPECT_TRUE(db_.IsAuthorized("requester-999999", Action::kSelect, "patients", "name"));
+  // The wildcard only adds the assigned role; it does not widen the grant.
+  EXPECT_FALSE(db_.IsAuthorized("carol", Action::kSelect, "patients", "diagnosis"));
+  // Explicit assignments still compose on top of the wildcard.
+  EXPECT_TRUE(db_.IsAuthorized("alice", Action::kUpdate, "patients", "diagnosis"));
+  EXPECT_TRUE(db_.EffectiveRoles("carol").count("staff"));
+}
+
 TEST_F(RbacTest, InvalidConfigurations) {
   EXPECT_FALSE(db_.AddRole("staff").ok());                       // duplicate
   EXPECT_FALSE(db_.AddRole("x", {"missing-parent"}).ok());       // bad parent

@@ -1,0 +1,11 @@
+// Fixture: a component rotating the state log directly, racing the
+// snapshotter's dirty-floor tracking.
+#include "persist/state_log.h"
+
+namespace fixture {
+
+piye::Status CompactNow(piye::persist::StateLog* log) {
+  return log->Rotate("snapshot-bytes", {});
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: snapshots are requested through the engine; the background
+// snapshotter owns the actual rotation.
+#include "mediator/engine.h"
+
+namespace fixture {
+
+piye::Status RequestSnapshot(piye::mediator::MediationEngine* engine) {
+  return engine->TriggerSnapshot(/*wait=*/true);
+}
+
+}  // namespace fixture

@@ -52,6 +52,7 @@ const std::vector<RuleFixture>& Fixtures() {
       {"header-hygiene", "header-hygiene.h", "src/mediator/fixture.h"},
       {"analysis-escape", "analysis-escape.cc", "src/mediator/fixture.cc"},
       {"row-loop", "row-loop.cc", "src/perturb/fixture.cc"},
+      {"manual-snapshot", "manual-snapshot.cc", "src/mediator/fixture.cc"},
   };
   return kFixtures;
 }

@@ -231,8 +231,11 @@ TEST(RecoveryTest, SnapshotRotationPreservesStateAcrossRestart) {
     for (int i = 0; i < 7; ++i) {
       ASSERT_TRUE(engine->Execute(query, QueryOptions{}).ok());
     }
+    // Rotation is asynchronous now; force one deterministically so the
+    // snapshot below is guaranteed to carry all seven entries.
+    ASSERT_TRUE(engine->TriggerSnapshot(/*wait=*/true).ok());
     loss_before = engine->history()->CumulativeLoss("analyst");
-    EXPECT_GE(engine->metrics()->counter("engine.snapshots"), 3u);
+    EXPECT_GE(engine->metrics()->counter("engine.snapshots"), 2u);
   }
   auto revived = BuildEngine(sources, options);
   ASSERT_TRUE(revived->Recover(dir).ok());

@@ -431,6 +431,35 @@ void CheckRowLoop(const std::string& path, const std::vector<LineInfo>& lines, E
   }
 }
 
+/// manual-snapshot: snapshot rotation is owned by the background
+/// snapshotter (and the engine's recovery fold-in). Anything else calling
+/// the StateLog rotation surface directly races the snapshotter's dirty
+/// tracking, skips the fail-closed latch, and breaks the KillPoint
+/// accounting — request a snapshot through
+/// MediationEngine::TriggerSnapshot instead.
+void CheckManualSnapshot(const std::string& path, const std::vector<LineInfo>& lines,
+                         Emit out) {
+  static const char* kRule = "manual-snapshot";
+  if (PathHas(path, "persist/state_log.") || PathHas(path, "persist/snapshotter.") ||
+      PathHas(path, "mediator/engine.")) {
+    return;
+  }
+  static const std::vector<std::string> kBanned = {
+      "Rotate", "RotateSnapshotLocked", "RotateSnapshotBackground"};
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (const auto& token : kBanned) {
+      if (HasToken(lines[i].code, token) && !Suppressed(lines, i, kRule)) {
+        AddFinding(out, path, i, kRule,
+                   token + " outside the snapshotter/engine rotation seam; "
+                           "request snapshots via MediationEngine::TriggerSnapshot "
+                           "so dirty-floor tracking and the fail-closed latch stay "
+                           "correct");
+        break;
+      }
+    }
+  }
+}
+
 struct Rule {
   const char* name;
   const char* description;
@@ -465,6 +494,10 @@ const std::vector<Rule>& Rules() {
       {"row-loop",
        "row-at-a-time iteration in columnar hot paths (perturb/anonymity/relational)",
        CheckRowLoop},
+      {"manual-snapshot",
+       "StateLog rotation calls outside the snapshotter/engine seam (bypass "
+       "dirty-floor tracking and the fail-closed latch)",
+       CheckManualSnapshot},
   };
   return kRules;
 }
